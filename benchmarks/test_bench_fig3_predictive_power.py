@@ -1,0 +1,41 @@
+"""Fig. 3(d-f): predictive power (median relative error at P+1..P+4).
+
+Shares the session sweeps with the accuracy bench; the timed quantity here
+is the evaluation step itself (model extrapolation + error computation),
+which is what a user pays when applying a created model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.figures import format_power_table
+from repro.evaluation.predictive_power import relative_prediction_errors
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.terms import ExponentPair
+from repro.synthesis.evaluation_points import evaluation_points
+
+
+@pytest.mark.parametrize("m", [1, 2, 3])
+def test_fig3_predictive_power(
+    m, sweep_m1, sweep_m2, sweep_m3, record_table, benchmark
+):
+    sweep = {1: sweep_m1, 2: sweep_m2, 3: sweep_m3}[m]
+    panel = {1: "d", 2: "e", 3: "f"}[m]
+    record_table(
+        f"Fig 3({panel}) predictive power m={m} "
+        f"({sweep.config.n_functions} functions per cell)",
+        format_power_table(sweep),
+    )
+    # Shape checks mirroring the paper's claims:
+    for name in ("regression", "adaptive"):
+        errors_low = sweep.cell(0.02, name).median_errors()
+        assert np.all(errors_low < 20.0), "low-noise extrapolation should be accurate"
+    reg = sweep.cell(1.0, "regression").median_errors()[3]
+    ada = sweep.cell(1.0, "adaptive").median_errors()[3]
+    assert ada <= reg * 1.1, "adaptive should not extrapolate worse at 100% noise"
+
+    model = PerformanceFunction.single_term(
+        5.0, 2.0, [ExponentPair(1, 1)] * m if m == 1 else [ExponentPair(1, 0)] * m
+    )
+    pts = evaluation_points([np.array([4.0, 8.0, 16.0, 32.0, 64.0])] * m)
+    benchmark(lambda: relative_prediction_errors(model, model, pts))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""FASTEST case study (paper Sec. VI): the noisiest campaign.
+
+FASTEST's SuperMUC measurements carry ~50 % average noise with spikes
+beyond 150 % -- the regime where regression-based modeling collapses and
+the paper's adaptive modeler shines (69.79 % -> 16.23 % median error).
+This example runs the simulated campaign and shows the per-kernel
+extrapolation errors of both modelers side by side.
+
+Run:  python examples/fastest_study.py        (~1-2 minutes)
+"""
+
+from repro.adaptive.modeler import AdaptiveModeler
+from repro.casestudies import fastest
+from repro.casestudies.driver import run_case_study
+from repro.dnn.modeler import DNNModeler
+from repro.regression.modeler import RegressionModeler
+from repro.util.tables import render_table
+
+app = fastest()
+print(f"simulated campaign: {app.name}")
+print(f"modeling points: two crossing lines, evaluation at P+{tuple(app.evaluation_point)}")
+print(f"{len(app.relevant_kernels())} performance-relevant kernels\n")
+
+modelers = {
+    "regression": RegressionModeler(),
+    "adaptive": AdaptiveModeler(dnn=DNNModeler(adaptation_samples_per_class=500)),
+}
+result = run_case_study(app, modelers, rng=42)
+
+print(f"noise (cf. Fig. 5, paper: n̄=49.56%, max 160%): {result.noise.format()}\n")
+
+by_kernel = {}
+for outcome in result.outcomes:
+    if outcome.relevant:
+        by_kernel.setdefault(outcome.kernel, {})[outcome.modeler] = outcome
+rows = [
+    [
+        kernel,
+        f"{outs['regression'].relative_error:.1f}",
+        f"{outs['adaptive'].relative_error:.1f}",
+    ]
+    for kernel, outs in sorted(by_kernel.items())
+]
+print(
+    render_table(
+        ["kernel", "regression err %", "adaptive err %"],
+        rows,
+        title="Per-kernel extrapolation error at P+",
+    )
+)
+
+print()
+for name in result.modeler_names():
+    print(
+        f"{name:>10}: median error {result.median_error(name):6.2f}%   "
+        f"time {result.total_seconds[name]:6.2f}s"
+    )
+print("\npaper: regression 69.79% -> adaptive 16.23% (the headline case)")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Noise estimation walkthrough (paper Sec. IV-B, Eqs. 3-4).
+
+Demonstrates the range-of-relative-deviation heuristic step by step: inject
+a known noise level, look at the per-point relative deviations, watch how
+pooling across points widens the observed range toward the true level, and
+quantify the estimator's accuracy over many trials.
+
+Run:  python examples/noise_analysis.py
+"""
+
+import numpy as np
+
+from repro.experiment.experiment import Kernel
+from repro.experiment.measurement import Coordinate, Measurement
+from repro.noise.estimation import (
+    estimate_noise_level,
+    estimate_noise_level_corrected,
+    noise_levels_per_point,
+    repetition_bias_factor,
+)
+from repro.noise.injection import UniformNoise
+
+TRUE_LEVEL = 0.30  # 30 % noise, i.e. values deviate up to +-15 %
+rng = np.random.default_rng(7)
+noise = UniformNoise(TRUE_LEVEL)
+
+# ------------------------------------------------ build a noisy campaign
+kernel = Kernel("demo")
+for i in range(25):
+    true_runtime = float(rng.uniform(10.0, 500.0))
+    reps = noise.apply(np.full(5, true_runtime), rng)
+    kernel.add(Measurement(Coordinate(float(2 ** (i % 6 + 1)), float(i + 1)), reps))
+
+# ------------------------------------------------ per-point view (Eq. 3)
+print(f"injected noise level: {TRUE_LEVEL * 100:.0f}%\n")
+print("per-point rrd (5 repetitions each) -- none spans the full range:")
+per_point = noise_levels_per_point(kernel)
+print(
+    f"  min {per_point.min() * 100:5.1f}%   mean {per_point.mean() * 100:5.1f}%   "
+    f"max {per_point.max() * 100:5.1f}%"
+)
+expected = repetition_bias_factor(5, 1)
+print(f"  (theory: a single point covers ~{expected * 100:.0f}% of the level)\n")
+
+# ------------------------------------------------ pooled view (Eq. 4)
+pooled = estimate_noise_level(kernel)
+corrected = estimate_noise_level_corrected(kernel)
+print("pooling all deviations into D_V (Eq. 4):")
+print(f"  rrd(D_V)          = {pooled * 100:5.1f}%")
+print(f"  bias-corrected    = {corrected * 100:5.1f}%   (library extension)\n")
+
+# ------------------------------------------------ estimator accuracy
+print("estimator accuracy over 200 random campaigns (levels U[0, 100%]):")
+errors_raw, errors_corr = [], []
+for _ in range(200):
+    level = float(rng.uniform(0.0, 1.0))
+    k = Kernel("trial")
+    model = UniformNoise(level)
+    for i in range(25):
+        true = float(rng.uniform(1.0, 1000.0))
+        k.add(Measurement(Coordinate(float(i + 2)), model.apply(np.full(5, true), rng)))
+    errors_raw.append(abs(estimate_noise_level(k) - level))
+    errors_corr.append(abs(estimate_noise_level_corrected(k) - level))
+print(f"  raw rrd:        mean abs error {np.mean(errors_raw) * 100:.2f} pp (paper: 4.93)")
+print(f"  bias-corrected: mean abs error {np.mean(errors_corr) * 100:.2f} pp")

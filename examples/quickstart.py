@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: model a small scaling study with the adaptive modeler.
+
+We pretend we measured a kernel at five process counts with five noisy
+repetitions each, then let the adaptive modeler recover the scaling law and
+predict the runtime at a scale we never measured.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AdaptiveModeler, Experiment
+from repro.dnn import DNNModeler
+from repro.noise.estimation import summarize_noise
+
+# ----------------------------------------------------------------- measure
+# "Measurements" of a kernel that actually behaves like 5 + 0.4 * p^1.5,
+# with ~20 % multiplicative noise -- the regime where repeated runs on a
+# busy cluster typically land.
+rng = np.random.default_rng(42)
+process_counts = [4, 8, 16, 32, 64]
+
+
+def run_application(p: int) -> float:
+    truth = 5.0 + 0.4 * p**1.5
+    return truth * (1.0 + rng.uniform(-0.10, 0.10))
+
+
+experiment = Experiment.single_parameter(
+    "p",
+    process_counts,
+    values=[[run_application(p) for _ in range(5)] for p in process_counts],
+    kernel="solver",
+)
+
+# ------------------------------------------------------------------- model
+print("noise:", summarize_noise(experiment).format())
+
+# The smaller retraining set keeps this demo fast; drop the argument for the
+# paper's settings (2000 samples/class).
+adaptive = AdaptiveModeler(dnn=DNNModeler(adaptation_samples_per_class=200))
+result = adaptive.model_kernel(experiment.only_kernel(), rng=0)
+
+print(f"model:  {result.function.format(['p'])}")
+print(f"method: {result.method}   CV-SMAPE: {result.cv_smape:.2f}%")
+
+# ----------------------------------------------------------------- predict
+for p in (128, 256, 1024):
+    predicted = result.function.evaluate(np.array([float(p)]))
+    truth = 5.0 + 0.4 * p**1.5
+    print(
+        f"p={p:5d}: predicted {predicted:6.1f}  (true {truth:6.1f}, "
+        f"error {100 * abs(predicted - truth) / truth:.1f}%)"
+    )

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""RELeARN case study (paper Sec. VI): the calm-measurement limit.
+
+RELeARN's Lichtenberg measurements are nearly noise-free (~0.65 %), so the
+adaptive modeler routes the task to *both* modelers and the CV winner is
+effectively the regression result -- the paper found bit-identical outcomes
+(7.12 % error for both). The interesting part is model *interpretability*:
+theory predicts the connectivity update to scale as O(n log^2 n + p), and
+the recovered models can be read directly against that expectation.
+
+Run:  python examples/relearn_study.py
+"""
+
+from repro.adaptive.modeler import AdaptiveModeler
+from repro.casestudies import relearn
+from repro.casestudies.driver import run_case_study
+from repro.dnn.modeler import DNNModeler
+from repro.noise.classification import classify_noise
+from repro.regression.modeler import RegressionModeler
+
+app = relearn()
+print(f"simulated campaign: {app.name}, parameters {app.parameters}")
+print("theory: connectivity_update = O(n log2^2(n) + p)   [Rinke et al. 2018]\n")
+
+modelers = {
+    "regression": RegressionModeler(),
+    "adaptive": AdaptiveModeler(dnn=DNNModeler(adaptation_samples_per_class=200)),
+}
+result = run_case_study(app, modelers, rng=42)
+
+level = result.noise.pooled
+print(f"noise: {result.noise.format()}")
+print(f"routing decision at this level: {classify_noise(level, 2).value}\n")
+
+for outcome in result.outcomes:
+    if outcome.kernel != "connectivity_update":
+        continue
+    print(f"{outcome.modeler:>10}: {outcome.result.function.format(app.parameters)}")
+    print(
+        f"{'':>12}predicted {outcome.prediction:.1f} at P+{tuple(app.evaluation_point)}, "
+        f"measured {outcome.reference:.1f}  ->  {outcome.relative_error:.2f}% error"
+    )
+
+print("\nmedian relative error over all kernels:")
+for name in result.modeler_names():
+    print(f"  {name:>10}: {result.median_error(name):.2f}%   (paper: 7.12% for both)")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Miniature Fig. 3: regression vs adaptive on synthetic functions.
+
+Runs a reduced synthetic sweep (m = 1, a few noise levels, 100 functions
+per cell) and prints the accuracy and predictive-power tables in the
+paper's format. The full-scale version lives in the benchmark suite
+(``pytest benchmarks/ --benchmark-only``); this script is the quick
+interactive variant.
+
+Run:  python examples/synthetic_evaluation.py          (~1 minute)
+      REPRO_PROCS=auto python examples/synthetic_evaluation.py
+"""
+
+import time
+
+from repro.adaptive.modeler import AdaptiveModeler
+from repro.dnn.modeler import DNNModeler
+from repro.dnn.pretrained import load_or_pretrain
+from repro.evaluation.figures import format_accuracy_table, format_power_table
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.regression.modeler import RegressionModeler
+
+print("loading the pretrained generic network (pretrains on first use) ...")
+network = load_or_pretrain()
+
+modelers = {
+    "regression": RegressionModeler(),
+    "adaptive": AdaptiveModeler(
+        dnn=DNNModeler(network=network, use_domain_adaptation=False)
+    ),
+}
+config = SweepConfig(
+    n_params=1,
+    noise_levels=(0.02, 0.10, 0.50, 1.00),
+    n_functions=100,
+)
+
+start = time.perf_counter()
+result = run_sweep(config, modelers, rng=0)
+print(f"sweep finished in {time.perf_counter() - start:.1f}s\n")
+
+print(format_accuracy_table(result, title="Model accuracy, m=1 (cf. Fig. 3a)"))
+print()
+print(format_power_table(result, title="Predictive power, m=1 (cf. Fig. 3d)"))
+print(
+    "\nreading guide: at 2% noise both columns match (adaptive runs both\n"
+    "modelers and picks the CV winner); from ~50% noise the adaptive column\n"
+    "holds its accuracy while regression degrades -- the paper's headline."
+)

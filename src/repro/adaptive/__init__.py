@@ -1,0 +1,13 @@
+"""The adaptive performance modeler (paper Fig. 1).
+
+Routes each modeling task by its estimated noise level: below the switching
+threshold both the regression and the DNN modeler run and the CV/SMAPE
+winner is returned; above it the regression modeler is switched off, because
+its tight in-range fit extrapolates badly from noisy data, and the DNN
+result is used directly.
+"""
+
+from repro.adaptive.modeler import AdaptiveModeler
+from repro.adaptive.thresholds import calibrate_thresholds, intersect_accuracy_curves
+
+__all__ = ["AdaptiveModeler", "calibrate_thresholds", "intersect_accuracy_curves"]

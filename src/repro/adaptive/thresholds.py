@@ -1,0 +1,83 @@
+"""Switching-threshold calibration (paper Sec. IV-A).
+
+The paper determines when to switch the regression modeler off by locating
+the intersections of the two modelers' accuracy-vs-noise curves. This
+module reproduces that analysis: run the synthetic sweep with both modelers,
+interpolate the accuracy curves, and return the crossing noise level per
+parameter count. The shipped defaults
+(:data:`repro.noise.classification.DEFAULT_THRESHOLDS`) were produced this
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.evaluation.accuracy import ACCURACY_BUCKETS
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.noise.classification import DEFAULT_THRESHOLDS
+from repro.util.seeding import as_generator, spawn_generators
+
+
+def intersect_accuracy_curves(
+    noise_levels: Sequence[float],
+    accuracy_a: Sequence[float],
+    accuracy_b: Sequence[float],
+) -> "float | None":
+    """First noise level where curve ``b`` overtakes curve ``a``.
+
+    Linear interpolation between sampled noise levels; returns ``None`` when
+    ``b`` never overtakes ``a`` in the sampled range (or leads everywhere,
+    in which case the crossing is at the first sample).
+    """
+    noise = np.asarray(noise_levels, dtype=float)
+    diff = np.asarray(accuracy_a, dtype=float) - np.asarray(accuracy_b, dtype=float)
+    if noise.shape != diff.shape or noise.size < 2:
+        raise ValueError("need matching arrays of at least two noise levels")
+    if diff[0] <= 0:
+        return float(noise[0])
+    for k in range(1, diff.size):
+        if diff[k] <= 0:
+            # Linear interpolation of the zero crossing in [k-1, k].
+            span = diff[k - 1] - diff[k]
+            frac = diff[k - 1] / span if span > 0 else 0.0
+            return float(noise[k - 1] + frac * (noise[k] - noise[k - 1]))
+    return None
+
+
+def calibrate_thresholds(
+    regression,
+    dnn,
+    m_values: Sequence[int] = (1, 2, 3),
+    noise_levels: Sequence[float] = (0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.00),
+    n_functions: "int | None" = None,
+    bucket: float = ACCURACY_BUCKETS[0],
+    rng=None,
+    processes: "int | None" = None,
+) -> dict[int, float]:
+    """Empirically determine the adaptive modeler's switching thresholds.
+
+    Runs the accuracy sweep for each parameter count with both modelers and
+    finds where the DNN curve overtakes regression. Where no crossing is
+    observed the shipped default is kept (the DNN never overtaking means the
+    regression modeler should simply stay on).
+    """
+    gen = as_generator(rng)
+    thresholds: dict[int, float] = {}
+    for m, child in zip(m_values, spawn_generators(gen, len(list(m_values)))):
+        kwargs = {} if n_functions is None else {"n_functions": n_functions}
+        config = SweepConfig(n_params=m, noise_levels=tuple(noise_levels), **kwargs)
+        result = run_sweep(
+            config, {"regression": regression, "dnn": dnn}, child, processes=processes
+        )
+        crossing = intersect_accuracy_curves(
+            noise_levels,
+            result.accuracy_series("regression", bucket),
+            result.accuracy_series("dnn", bucket),
+        )
+        thresholds[m] = (
+            crossing if crossing is not None else DEFAULT_THRESHOLDS.get(m, max(noise_levels))
+        )
+    return thresholds

@@ -1,0 +1,13 @@
+"""Baseline predictors from the paper's related work.
+
+The paper positions its approach against Gaussian process regression
+(Duplyakin et al., "Active learning in performance analysis"): GPR gains
+noise resilience "while sacrificing some of their predictive power"
+(Sec. II). :mod:`repro.baselines.gpr` implements a from-scratch GP
+regressor so that claim can be tested on the same synthetic benchmark --
+see ``benchmarks/test_bench_baseline_gpr.py``.
+"""
+
+from repro.baselines.gpr import GaussianProcessRegressor, GPRModeler
+
+__all__ = ["GaussianProcessRegressor", "GPRModeler"]

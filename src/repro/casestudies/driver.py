@@ -1,0 +1,113 @@
+"""Case-study driver reproducing Figs. 4-6 for any simulated application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.casestudies.base import SimulatedApplication
+from repro.noise.estimation import NoiseSummary, summarize_noise
+from repro.regression.modeler import ModelResult
+from repro.util.seeding import as_generator, spawn_generators
+from repro.util.timing import Timer
+
+
+@dataclass(frozen=True)
+class KernelOutcome:
+    """Per-kernel, per-modeler prediction at the evaluation point."""
+
+    kernel: str
+    modeler: str
+    result: ModelResult
+    prediction: float
+    reference: float  # measured median at the evaluation point
+    relevant: bool  # runtime share > 1 %
+
+    @property
+    def relative_error(self) -> float:
+        """Percentage error of the extrapolated prediction."""
+        return 100.0 * abs(self.prediction - self.reference) / abs(self.reference)
+
+
+@dataclass
+class CaseStudyResult:
+    """Everything Figs. 4-6 need for one application."""
+
+    application: str
+    noise: NoiseSummary  # Fig. 5 panel
+    outcomes: list[KernelOutcome]
+    total_seconds: dict[str, float]  # Fig. 6 bars (includes retraining)
+
+    def median_error(self, modeler: str) -> float:
+        """Fig. 4 bar: median relative error over performance-relevant kernels."""
+        errors = [
+            o.relative_error for o in self.outcomes if o.modeler == modeler and o.relevant
+        ]
+        if not errors:
+            raise ValueError(f"no relevant outcomes for modeler {modeler!r}")
+        return float(np.median(errors))
+
+    def modeler_names(self) -> list[str]:
+        return sorted(self.total_seconds)
+
+    def slowdown(self, modeler: str, baseline: str = "regression") -> float:
+        """Fig. 6 annotation: how many times slower than the baseline."""
+        base = self.total_seconds[baseline]
+        return self.total_seconds[modeler] / base if base > 0 else float("inf")
+
+
+def run_case_study(
+    application: SimulatedApplication,
+    modelers: Mapping[str, object],
+    rng=None,
+) -> CaseStudyResult:
+    """Simulate the campaign and evaluate every modeler on it.
+
+    All modelers see the identical noisy campaign. Predictions are compared
+    against the *measured* (median) value at the evaluation point, as in the
+    paper -- the reference itself carries measurement noise. Timing wraps
+    the whole ``model_experiment`` call, so the adaptive modeler's
+    domain-adaptation retraining is included (that is the overhead Fig. 6
+    reports). Modelers with an adaptation cache are reset first so repeated
+    driver runs stay comparable.
+    """
+    gen = as_generator(rng)
+    campaign_rng, *modeler_rngs = spawn_generators(gen, len(modelers) + 1)
+    campaign = application.run_campaign(campaign_rng)
+    modeling = application.modeling_experiment(campaign)
+    relevant = {k.name for k in application.relevant_kernels()}
+
+    references = {
+        kern.name: kern.measurement_at(application.evaluation_point).median
+        for kern in campaign.kernels
+    }
+
+    outcomes: list[KernelOutcome] = []
+    total_seconds: dict[str, float] = {}
+    eval_array = application.evaluation_point.as_array()
+    for (name, modeler), m_rng in zip(modelers.items(), modeler_rngs):
+        dnn = getattr(modeler, "dnn", modeler)
+        if hasattr(dnn, "_adapted"):
+            dnn._adapted = {}
+        with Timer() as timer:
+            results = modeler.model_experiment(modeling, rng=m_rng)
+        total_seconds[name] = timer.elapsed
+        for kernel_name, result in results.items():
+            outcomes.append(
+                KernelOutcome(
+                    kernel=kernel_name,
+                    modeler=name,
+                    result=result,
+                    prediction=float(result.function.evaluate(eval_array)),
+                    reference=references[kernel_name],
+                    relevant=kernel_name in relevant,
+                )
+            )
+    return CaseStudyResult(
+        application=application.name,
+        noise=summarize_noise(modeling),
+        outcomes=outcomes,
+        total_seconds=total_seconds,
+    )

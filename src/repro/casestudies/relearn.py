@@ -1,0 +1,76 @@
+"""Simulated RELeARN: structural brain-plasticity simulation (Sec. VI).
+
+The Lichtenberg campaign varies processes ``x1 = (32, ..., 512)`` and
+neurons ``x2 = (5000, ..., 9000)`` over 25 configurations with *two*
+repetitions each. Modeling uses two crossing lines of five points: ``x1``
+varies at ``x2 = 5000`` and ``x2`` varies at ``x1 = 32``. Evaluation uses
+``P+(512, 9000)``.
+
+The connectivity update dominates asymptotically; literature gives
+``O(x2 * log2^2(x2) + x1)`` (Rinke et al. 2018), which is the ground truth
+used here. RELeARN's measurements are nearly noise-free (Fig. 5: ~0.65 %),
+which is why the paper's adaptive modeler cannot improve on regression for
+this study -- the behaviour our reproduction must preserve.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import SimulatedApplication, SimulatedKernel
+from repro.experiment.measurement import Coordinate
+from repro.noise.injection import NoiseModel, SystematicErrorNoise, UniformNoise
+from repro.pmnf.function import MultiTerm, PerformanceFunction
+from repro.pmnf.terms import CompoundTerm
+
+X1 = (32.0, 64.0, 128.0, 256.0, 512.0)
+X2 = (5000.0, 6000.0, 7000.0, 8000.0, 9000.0)
+
+LINE_X2 = 5000.0  # x2 value along the x1 modeling line
+LINE_X1 = 32.0  # x1 value along the x2 modeling line
+
+EVALUATION_POINT = Coordinate(512.0, 9000.0)
+
+
+def _noise() -> NoiseModel:
+    # With two repetitions the estimated per-point rrd of uniform noise n
+    # averages n/3; level 2 % reproduces the ~0.65 % estimates of Fig. 5.
+    # The tiny systematic component accounts for the residual model error
+    # the paper observed (7.12 % extrapolation error despite calm
+    # measurements): real kernels deviate slightly from their ideal PMNF
+    # shape even when runs are perfectly repeatable.
+    return SystematicErrorNoise(UniformNoise(0.02), scale=0.04)
+
+
+def _kernels() -> list[SimulatedKernel]:
+    connectivity = PerformanceFunction(
+        50.0,
+        [
+            MultiTerm(0.5, {0: CompoundTerm(1)}),
+            MultiTerm(0.004, {1: CompoundTerm(1, 2)}),
+        ],
+        2,
+    )
+    electrical = PerformanceFunction(10.0, [MultiTerm(0.01, {1: CompoundTerm(1)})], 2)
+    exchange = PerformanceFunction(2.0, [MultiTerm(1.5, {0: CompoundTerm(0, 1)})], 2)
+    noise = _noise()
+    return [
+        SimulatedKernel("connectivity_update", connectivity, noise, 0.60),
+        SimulatedKernel("update_electrical_activity", electrical, noise, 0.30),
+        SimulatedKernel("exchange_neuron_ids", exchange, noise, 0.08),
+    ]
+
+
+def _is_modeling_coordinate(coordinate: Coordinate) -> bool:
+    return coordinate[1] == LINE_X2 or coordinate[0] == LINE_X1
+
+
+def relearn() -> SimulatedApplication:
+    """Build the simulated RELeARN campaign."""
+    return SimulatedApplication(
+        name="relearn",
+        parameters=("p", "n"),
+        value_sets=(X1, X2),
+        kernels=_kernels(),
+        repetitions=2,
+        evaluation_point=EVALUATION_POINT,
+        modeling_coordinates=_is_modeling_coordinate,
+    )

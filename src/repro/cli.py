@@ -1,0 +1,322 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-model`` script.
+
+Subcommands::
+
+    repro-model noise <experiment-file>          estimate noise (Fig. 5 style)
+    repro-model model <experiment-file>          create performance models
+    repro-model pretrain                         (re)build the cached generic network
+    repro-model evaluate --params 1              synthetic sweep (Fig. 3 tables)
+    repro-model casestudy kripke                 run a simulated case study
+
+Experiment files may be JSON (``.json``) or the Extra-P style text format
+(anything else); see :mod:`repro.experiment.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.util.tables import render_table
+
+
+def _load_experiment(path: str):
+    from repro.experiment.io import load_json, load_text
+
+    if Path(path).suffix.lower() == ".json":
+        return load_json(path)
+    return load_text(path)
+
+
+def _make_modeler(method: str, seed: int):
+    from repro.adaptive.modeler import AdaptiveModeler
+    from repro.dnn.modeler import DNNModeler
+    from repro.regression.modeler import RegressionModeler
+
+    if method == "regression":
+        return RegressionModeler()
+    if method == "dnn":
+        return DNNModeler()
+    if method == "adaptive":
+        return AdaptiveModeler()
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _cmd_noise(args: argparse.Namespace) -> int:
+    from repro.noise.estimation import summarize_noise
+
+    experiment = _load_experiment(args.experiment)
+    rows = []
+    for kernel in experiment.kernels:
+        summary = summarize_noise(kernel)
+        rows.append(
+            [
+                kernel.name,
+                f"{summary.mean * 100:.2f}",
+                f"{summary.median * 100:.2f}",
+                f"{summary.minimum * 100:.2f}",
+                f"{summary.maximum * 100:.2f}",
+                f"{summary.pooled * 100:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["kernel", "mean %", "median %", "min %", "max %", "pooled rrd %"],
+            rows,
+            title=f"Noise levels of {args.experiment}",
+        )
+    )
+    overall = summarize_noise(experiment)
+    print(f"\noverall: {overall.format()}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    experiment = _load_experiment(args.experiment)
+    modeler = _make_modeler(args.method, args.seed)
+    results = modeler.model_experiment(experiment, rng=args.seed)
+    names = list(experiment.parameters)
+    for kernel_name in sorted(results):
+        result = results[kernel_name]
+        print(result.format(names))
+    return 0
+
+
+def _cmd_pretrain(args: argparse.Namespace) -> int:
+    from repro.dnn.config import NetworkConfig, PretrainConfig
+    from repro.dnn.pretrained import default_cache_dir, load_or_pretrain
+
+    network_config = NetworkConfig.paper() if args.net == "paper" else NetworkConfig.fast()
+    config = PretrainConfig.default()
+    if network_config.name != config.network.name:
+        config = PretrainConfig(network=network_config)
+    network = load_or_pretrain(config)
+    print(
+        f"generic network '{network_config.name}' ready "
+        f"({network.n_parameters()} weights, cache: {default_cache_dir()})"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.dnn.modeler import DNNModeler
+    from repro.adaptive.modeler import AdaptiveModeler
+    from repro.evaluation.figures import format_accuracy_table, format_power_table
+    from repro.evaluation.sweep import SweepConfig, run_sweep
+    from repro.regression.modeler import RegressionModeler
+
+    dnn = DNNModeler(use_domain_adaptation=False)
+    modelers = {
+        "regression": RegressionModeler(),
+        "adaptive": AdaptiveModeler(dnn=dnn),
+    }
+    config = SweepConfig(
+        n_params=args.params,
+        noise_levels=tuple(n / 100 for n in args.noise),
+        n_functions=args.functions,
+    )
+    result = run_sweep(config, modelers, rng=args.seed, processes=args.processes)
+    print(format_accuracy_table(result, title=f"Model accuracy, m={args.params} (Fig. 3)"))
+    print()
+    print(format_power_table(result, title=f"Predictive power, m={args.params} (Fig. 3)"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.experiment.io import save_json, save_text
+    from repro.noise.injection import NoNoise, UniformNoise
+    from repro.pmnf.parser import parse_function
+    from repro.synthesis.measurements import synthesize_experiment
+
+    if len(args.values) != len(args.params):
+        raise SystemExit("one --values list per parameter is required")
+    function = parse_function(args.function, args.params)
+    value_sets = [
+        [float(v) for v in spec.split(",")] for spec in args.values
+    ]
+    noise = UniformNoise(args.noise / 100.0) if args.noise > 0 else NoNoise()
+    experiment = synthesize_experiment(
+        function,
+        value_sets,
+        noise=noise,
+        repetitions=args.repetitions,
+        rng=args.seed,
+        parameter_names=args.params,
+        kernel=args.kernel,
+    )
+    if Path(args.output).suffix.lower() == ".json":
+        save_json(experiment, args.output)
+    else:
+        save_text(experiment, args.output)
+    print(
+        f"wrote {args.output}: {len(experiment.coordinates())} points x "
+        f"{args.repetitions} repetitions of '{function.format(args.params)}' "
+        f"under {args.noise:g}% noise"
+    )
+    return 0
+
+
+def _cmd_thresholds(args: argparse.Namespace) -> int:
+    from repro.adaptive.thresholds import calibrate_thresholds
+    from repro.dnn.modeler import DNNModeler
+    from repro.regression.modeler import RegressionModeler
+
+    thresholds = calibrate_thresholds(
+        RegressionModeler(),
+        DNNModeler(use_domain_adaptation=False),
+        m_values=tuple(args.params),
+        noise_levels=tuple(n / 100 for n in args.noise),
+        n_functions=args.functions,
+        rng=args.seed,
+        processes=args.processes,
+    )
+    rows = [[m, f"{thresholds[m] * 100:.1f}"] for m in sorted(thresholds)]
+    print(render_table(["parameters", "switching threshold (noise %)"], rows))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.evaluation.reporting import ReproductionConfig, run_reproduction
+
+    config = ReproductionConfig(
+        parameter_counts=tuple(args.params),
+        functions_per_cell=args.functions,
+        include_case_studies=not args.no_case_studies,
+        adaptation_samples_per_class=args.adapt_spc,
+        processes=args.processes,
+        seed=args.seed,
+    )
+    report = run_reproduction(config, progress=print)
+    path = report.save(args.output)
+    print(f"\nreport written to {path} ({report.seconds:.1f} s total)")
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.adaptive.modeler import AdaptiveModeler
+    from repro.casestudies import ALL_STUDIES
+    from repro.casestudies.driver import run_case_study
+    from repro.regression.modeler import RegressionModeler
+
+    application = ALL_STUDIES[args.name]()
+    modelers = {
+        "regression": RegressionModeler(),
+        "adaptive": AdaptiveModeler(),
+    }
+    result = run_case_study(application, modelers, rng=args.seed)
+    print(f"== {result.application} ==")
+    print(f"noise (Fig. 5): {result.noise.format()}")
+    rows = [
+        [
+            name,
+            f"{result.median_error(name):.2f}",
+            f"{result.total_seconds[name]:.2f}",
+            f"{result.slowdown(name):.1f}x",
+        ]
+        for name in result.modeler_names()
+    ]
+    print(
+        render_table(
+            ["modeler", "median rel. error % (Fig. 4)", "time s (Fig. 6)", "slowdown"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-model",
+        description="Noise-resilient empirical performance modeling (IPDPS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_noise = sub.add_parser("noise", help="estimate measurement noise")
+    p_noise.add_argument("experiment", help="experiment file (.json or Extra-P text)")
+    p_noise.set_defaults(func=_cmd_noise)
+
+    p_model = sub.add_parser("model", help="create performance models")
+    p_model.add_argument("experiment", help="experiment file (.json or Extra-P text)")
+    p_model.add_argument(
+        "--method",
+        choices=("regression", "dnn", "adaptive"),
+        default="adaptive",
+    )
+    p_model.add_argument("--seed", type=int, default=0)
+    p_model.set_defaults(func=_cmd_model)
+
+    p_pre = sub.add_parser("pretrain", help="pretrain and cache the generic network")
+    p_pre.add_argument("--net", choices=("fast", "paper"), default="fast")
+    p_pre.set_defaults(func=_cmd_pretrain)
+
+    p_eval = sub.add_parser("evaluate", help="run the synthetic sweep (Fig. 3)")
+    p_eval.add_argument("--params", type=int, default=1, choices=(1, 2, 3))
+    p_eval.add_argument(
+        "--noise", type=float, nargs="+", default=[2, 5, 10, 20, 50, 75, 100],
+        help="noise levels in percent",
+    )
+    p_eval.add_argument("--functions", type=int, default=100)
+    p_eval.add_argument("--processes", type=int, default=None)
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_gen = sub.add_parser("generate", help="synthesize an experiment file")
+    p_gen.add_argument("output", help="target file (.json or Extra-P text)")
+    p_gen.add_argument("--params", nargs="+", default=["p"], help="parameter names")
+    p_gen.add_argument(
+        "--function",
+        default="1 + 0.5 * p",
+        help="ground-truth PMNF expression, e.g. '5 + 2 * p^(1/2) * log2(p)'",
+    )
+    p_gen.add_argument(
+        "--values",
+        nargs="+",
+        default=["4,8,16,32,64"],
+        help="comma-separated value list per parameter",
+    )
+    p_gen.add_argument("--noise", type=float, default=0.0, help="noise level in percent")
+    p_gen.add_argument("--repetitions", type=int, default=5)
+    p_gen.add_argument("--kernel", default="synthetic")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_thr = sub.add_parser(
+        "thresholds", help="calibrate the adaptive switching thresholds (Sec. IV-A)"
+    )
+    p_thr.add_argument("--params", type=int, nargs="+", default=[1, 2])
+    p_thr.add_argument(
+        "--noise", type=float, nargs="+", default=[5, 10, 20, 30, 50, 75, 100]
+    )
+    p_thr.add_argument("--functions", type=int, default=100)
+    p_thr.add_argument("--processes", type=int, default=None)
+    p_thr.add_argument("--seed", type=int, default=0)
+    p_thr.set_defaults(func=_cmd_thresholds)
+
+    p_case = sub.add_parser("casestudy", help="run a simulated case study (Figs. 4-6)")
+    p_case.add_argument("name", choices=("kripke", "fastest", "relearn"))
+    p_case.add_argument("--seed", type=int, default=0)
+    p_case.set_defaults(func=_cmd_casestudy)
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate the paper's full evaluation as one report"
+    )
+    p_repro.add_argument("--output", default="reproduction", help="report directory")
+    p_repro.add_argument("--params", type=int, nargs="+", default=[1, 2, 3])
+    p_repro.add_argument("--functions", type=int, default=100)
+    p_repro.add_argument("--no-case-studies", action="store_true")
+    p_repro.add_argument("--adapt-spc", type=int, default=500)
+    p_repro.add_argument("--processes", type=int, default=None)
+    p_repro.add_argument("--seed", type=int, default=20210517)
+    p_repro.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

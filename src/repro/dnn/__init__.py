@@ -1,0 +1,31 @@
+"""The DNN performance modeler (paper Secs. IV-C/D/E).
+
+Exponent selection is cast as 43-class classification: a network maps the
+11-slot encoding of a measurement line to a probability distribution over
+the exponent pairs of ``E``. The top-3 classes become PMNF hypotheses whose
+coefficients are fitted by least squares; the winner is chosen by LOO CV
+with SMAPE -- the same selection machinery the regression modeler uses.
+Before each modeling task the pretrained network is *domain-adapted*:
+retrained on a fresh synthetic set that matches the task's measurement
+points, repetition count, and estimated noise range.
+"""
+
+from repro.dnn.config import NetworkConfig, PretrainConfig
+from repro.dnn.factory import build_network
+from repro.dnn.pretrained import pretrain_network, load_or_pretrain
+from repro.dnn.domain_adaptation import AdaptationTask, adapt_network
+from repro.dnn.modeler import DNNModeler
+from repro.dnn.analysis import ClassifierReport, evaluate_classifier
+
+__all__ = [
+    "ClassifierReport",
+    "evaluate_classifier",
+    "NetworkConfig",
+    "PretrainConfig",
+    "build_network",
+    "pretrain_network",
+    "load_or_pretrain",
+    "AdaptationTask",
+    "adapt_network",
+    "DNNModeler",
+]

@@ -1,0 +1,106 @@
+"""Classifier diagnostics: where do the 43-class predictions go wrong?
+
+Raw top-1 accuracy undersells the classifier: many of the 43 exponent
+classes are near-indistinguishable over five measurement points (``x^{7/4}``
+vs ``x^{5/3}``), and confusing neighbours is almost free downstream --
+the lead-exponent distance metric forgives anything within ¼ polynomial
+order, and the top-3 + CV selection recovers most of the rest. This module
+measures exactly that structure: accuracy in class space *and* in exponent
+space, so network changes can be judged by what actually matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.metrics import top_k_accuracy, top_k_classes
+from repro.nn.network import Sequential
+from repro.pmnf.searchspace import EXPONENT_PAIRS, NUM_CLASSES
+from repro.synthesis.training import TrainingSetConfig, generate_training_set
+from repro.util.seeding import as_generator
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class ClassifierReport:
+    """Aggregate diagnostics of one classifier on one task distribution."""
+
+    n_samples: int
+    top1: float
+    top3: float
+    #: Mean lead-exponent distance |Δi| between the top-1 prediction and truth.
+    mean_lead_distance: float
+    #: Fraction of top-1 predictions within distance ¼ of the true pair --
+    #: the "downstream-correct" rate before CV selection even runs.
+    within_quarter: float
+    #: Same, but counting a hit if ANY top-3 candidate is within ¼.
+    within_quarter_top3: float
+    #: Per-class top-1 accuracy (length 43, ordered like EXPONENT_PAIRS).
+    per_class_top1: np.ndarray
+
+    def format(self) -> str:
+        rows = [
+            ["samples", f"{self.n_samples}"],
+            ["top-1 accuracy", f"{self.top1 * 100:.1f}%"],
+            ["top-3 accuracy", f"{self.top3 * 100:.1f}%"],
+            ["top-1 within d<=1/4", f"{self.within_quarter * 100:.1f}%"],
+            ["top-3 within d<=1/4", f"{self.within_quarter_top3 * 100:.1f}%"],
+            ["mean lead distance", f"{self.mean_lead_distance:.3f}"],
+        ]
+        return render_table(["metric", "value"], rows, title="Classifier report")
+
+    def hardest_classes(self, count: int = 5) -> list[tuple[str, float]]:
+        """The classes with the lowest top-1 accuracy."""
+        order = np.argsort(self.per_class_top1)[:count]
+        return [(str(EXPONENT_PAIRS[k]), float(self.per_class_top1[k])) for k in order]
+
+
+def _pair_distances() -> np.ndarray:
+    """(43, 43) matrix of polynomial-order distances between classes."""
+    dist = np.empty((NUM_CLASSES, NUM_CLASSES))
+    for a, pa in enumerate(EXPONENT_PAIRS):
+        for b, pb in enumerate(EXPONENT_PAIRS):
+            dist[a, b] = pa.distance(pb)
+    return dist
+
+
+def evaluate_classifier(
+    network: Sequential,
+    config: "TrainingSetConfig | None" = None,
+    samples_per_class: int = 40,
+    rng=None,
+) -> ClassifierReport:
+    """Evaluate a classifier on freshly generated held-out data.
+
+    ``config`` describes the task distribution (defaults to the pretraining
+    distribution); its ``samples_per_class`` is overridden by the argument.
+    """
+    from dataclasses import replace
+
+    gen = as_generator(rng)
+    base = config or TrainingSetConfig()
+    x, y = generate_training_set(replace(base, samples_per_class=samples_per_class), gen)
+    probs = network.predict_proba(x)
+    top1_classes = np.argmax(probs, axis=1)
+    top3 = top_k_classes(probs, 3)
+
+    dist = _pair_distances()
+    lead_distance = dist[top1_classes, y]
+    top3_distance = np.min(dist[top3, y[:, None]], axis=1)
+
+    per_class = np.zeros(NUM_CLASSES)
+    for k in range(NUM_CLASSES):
+        mask = y == k
+        per_class[k] = float(np.mean(top1_classes[mask] == k)) if np.any(mask) else np.nan
+
+    return ClassifierReport(
+        n_samples=int(y.size),
+        top1=float(np.mean(top1_classes == y)),
+        top3=top_k_accuracy(probs, y, 3),
+        mean_lead_distance=float(np.mean(lead_distance)),
+        within_quarter=float(np.mean(lead_distance <= 0.25 + 1e-12)),
+        within_quarter_top3=float(np.mean(top3_distance <= 0.25 + 1e-12)),
+        per_class_top1=per_class,
+    )

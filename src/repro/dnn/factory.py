@@ -1,0 +1,28 @@
+"""Network construction from a :class:`NetworkConfig`."""
+
+from __future__ import annotations
+
+from repro.dnn.config import NetworkConfig
+from repro.nn.activations import Tanh
+from repro.nn.layers import Dense, Layer
+from repro.nn.network import Sequential
+from repro.util.seeding import as_generator
+
+
+def build_network(config: "NetworkConfig | None" = None, rng=None) -> Sequential:
+    """Build the classifier: dense/tanh hidden stack, linear output layer.
+
+    The output layer is linear here; the softmax lives in the loss (training)
+    and in :meth:`Sequential.predict_proba` (inference), which is numerically
+    equivalent to the paper's softmax output layer.
+    """
+    config = config or NetworkConfig.default()
+    gen = as_generator(rng)
+    layers: list[Layer] = []
+    width = config.input_size
+    for hidden in config.hidden_sizes:
+        layers.append(Dense(width, hidden, rng=gen))
+        layers.append(Tanh())
+        width = hidden
+    layers.append(Dense(width, config.output_size, rng=gen))
+    return Sequential(layers)

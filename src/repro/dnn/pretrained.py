@@ -1,0 +1,79 @@
+"""Pretraining of the generic network, with an on-disk checkpoint cache.
+
+Pretraining is the expensive, do-once step: the network learns the general
+shape->exponent mapping from fully randomized synthetic data (random
+sequences, coefficients, noise in [0, 100 %], up to five repetitions).
+Checkpoints are cached under ``~/.cache/repro-dnn`` (override with
+``REPRO_CACHE_DIR``) keyed by the pretraining configuration, so repeated
+runs -- including every test and benchmark session -- pay the cost once.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.dnn.config import PretrainConfig
+from repro.dnn.factory import build_network
+from repro.nn.network import Sequential, TrainingHistory
+from repro.nn.optimizers import AdaMax
+from repro.synthesis.training import TrainingSetConfig, generate_training_set
+from repro.util.seeding import as_generator
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-dnn"
+
+
+def pretraining_set_config(config: PretrainConfig) -> TrainingSetConfig:
+    """The fully randomized training-set configuration of Sec. IV-D."""
+    return TrainingSetConfig(
+        samples_per_class=config.samples_per_class,
+        repetitions=config.max_repetitions,
+    )
+
+
+def pretrain_network(
+    config: "PretrainConfig | None" = None,
+    rng=None,
+    return_history: bool = False,
+) -> "Sequential | tuple[Sequential, TrainingHistory]":
+    """Pretrain a fresh generic network (no cache involvement)."""
+    config = config or PretrainConfig.default()
+    gen = as_generator(config.seed if rng is None else rng)
+    x, y = generate_training_set(pretraining_set_config(config), gen)
+    network = build_network(config.network, gen)
+    history = network.fit(
+        x,
+        y,
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        optimizer=AdaMax(config.learning_rate),
+        rng=gen,
+    )
+    return (network, history) if return_history else network
+
+
+def load_or_pretrain(
+    config: "PretrainConfig | None" = None,
+    cache_dir: "Path | str | None" = None,
+) -> Sequential:
+    """Load the cached generic network, pretraining and caching on a miss.
+
+    The cache key covers every hyperparameter including the seed, so a cached
+    checkpoint is bit-identical to what a fresh pretraining run would give.
+    """
+    config = config or PretrainConfig.default()
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    path = directory / f"generic-{config.network.name}-{config.cache_key()}.npz"
+    if path.exists():
+        return Sequential.load(path)
+    network = pretrain_network(config)
+    directory.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp.npz")
+    network.save(tmp)
+    os.replace(tmp, path)
+    return network

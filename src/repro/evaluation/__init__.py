@@ -1,0 +1,49 @@
+"""The synthetic evaluation harness (paper Sec. V, Fig. 3).
+
+Measures the two quantities the paper compares modelers on:
+
+* **Model accuracy** -- the fraction of recovered models whose lead
+  exponents lie within distance ¼ / ⅓ / ½ of the synthetic ground truth.
+* **Predictive power** -- the median relative error when extrapolating to
+  the four out-of-range evaluation points ``P+``.
+"""
+
+from repro.evaluation.accuracy import (
+    ACCURACY_BUCKETS,
+    lead_exponent_distance,
+    bucket_fractions,
+)
+from repro.evaluation.predictive_power import relative_prediction_errors, median_errors
+from repro.evaluation.sweep import (
+    SweepConfig,
+    CellResult,
+    SweepResult,
+    run_sweep,
+    default_eval_functions,
+)
+from repro.evaluation.figures import format_accuracy_table, format_power_table
+from repro.evaluation.statistics import (
+    bootstrap_ci,
+    fraction_ci,
+    median_ci,
+    format_interval,
+)
+
+__all__ = [
+    "bootstrap_ci",
+    "fraction_ci",
+    "median_ci",
+    "format_interval",
+    "ACCURACY_BUCKETS",
+    "lead_exponent_distance",
+    "bucket_fractions",
+    "relative_prediction_errors",
+    "median_errors",
+    "SweepConfig",
+    "CellResult",
+    "SweepResult",
+    "run_sweep",
+    "default_eval_functions",
+    "format_accuracy_table",
+    "format_power_table",
+]

@@ -1,0 +1,53 @@
+"""Model accuracy: lead-exponent distance and accuracy buckets (Fig. 3a-c)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.pmnf.function import PerformanceFunction
+
+#: The paper's accuracy buckets: a model counts as correct for bucket ``d``
+#: when its lead-exponent distance is <= d.
+ACCURACY_BUCKETS: tuple[float, ...] = (1 / 4, 1 / 3, 1 / 2)
+
+
+def lead_exponent_distance(
+    model: PerformanceFunction,
+    truth: PerformanceFunction,
+    log_weight: float = 0.0,
+) -> float:
+    """Distance between the lead exponents of a model and its ground truth.
+
+    Per parameter, the distance between the two lead ``(i, j)`` pairs is
+    ``|Δi| + log_weight * |Δj|``; the default compares polynomial orders
+    only (see :meth:`ExponentPair.distance` and DESIGN.md). The overall
+    distance is the maximum over parameters, so a model is only as correct
+    as its worst parameter.
+    """
+    if model.n_params != truth.n_params:
+        raise ValueError(
+            f"arity mismatch: model has {model.n_params} parameters, truth {truth.n_params}"
+        )
+    model_leads = model.lead_exponents()
+    truth_leads = truth.lead_exponents()
+    return max(
+        m.distance(t, log_weight) for m, t in zip(model_leads, truth_leads)
+    )
+
+
+def bucket_fractions(
+    distances: Sequence[float],
+    buckets: Sequence[float] = ACCURACY_BUCKETS,
+) -> Mapping[float, float]:
+    """Fraction of models falling into each accuracy bucket.
+
+    This is the "percentage of correct models" plotted in Fig. 3(a-c): one
+    value per bucket, cumulative by construction (``d <= 1/4`` implies
+    ``d <= 1/2``).
+    """
+    arr = np.asarray(distances, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no distances given")
+    return {b: float(np.mean(arr <= b + 1e-12)) for b in buckets}

@@ -1,0 +1,64 @@
+"""Textual renderers regenerating the paper's figures as tables."""
+
+from __future__ import annotations
+
+from repro.evaluation.accuracy import ACCURACY_BUCKETS
+from repro.evaluation.sweep import SweepResult
+from repro.util.tables import render_table
+
+_BUCKET_NAMES = {1 / 4: "d<=1/4", 1 / 3: "d<=1/3", 1 / 2: "d<=1/2"}
+
+
+def format_accuracy_table(
+    result: SweepResult, title: str = "", include_ci: bool = False
+) -> str:
+    """Fig. 3(a-c) as a table: % correct per noise level, bucket, modeler.
+
+    With ``include_ci`` each entry carries its 99 % bootstrap half-width,
+    mirroring the confidence intervals the paper reports alongside Fig. 3.
+    """
+    headers = ["noise %"] + [
+        f"{name} {_BUCKET_NAMES.get(b, b)}"
+        for name in result.modeler_names()
+        for b in ACCURACY_BUCKETS
+    ]
+    rows = []
+    for noise in result.config.noise_levels:
+        row: list[object] = [f"{noise * 100:g}"]
+        for name in result.modeler_names():
+            cell = result.cell(noise, name)
+            fractions = cell.bucket_fractions()
+            for b in ACCURACY_BUCKETS:
+                entry = f"{fractions[b] * 100:.1f}"
+                if include_ci:
+                    lo, hi = cell.bucket_fraction_ci(b)
+                    half = max(fractions[b] - lo, hi - fractions[b]) * 100
+                    entry += f" ±{half:.1f}"
+                row.append(entry)
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def format_power_table(
+    result: SweepResult, title: str = "", include_ci: bool = False
+) -> str:
+    """Fig. 3(d-f) as a table: median % error per noise level and P+ point."""
+    n_pts = result.config.n_eval_points
+    headers = ["noise %"] + [
+        f"{name} P+{k + 1}" for name in result.modeler_names() for k in range(n_pts)
+    ]
+    rows = []
+    for noise in result.config.noise_levels:
+        row: list[object] = [f"{noise * 100:g}"]
+        for name in result.modeler_names():
+            cell = result.cell(noise, name)
+            med = cell.median_errors()
+            for k in range(n_pts):
+                entry = f"{med[k]:.2f}"
+                if include_ci:
+                    lo, hi = cell.median_error_ci(k)
+                    half = max(med[k] - lo, hi - med[k])
+                    entry += f" ±{half:.2f}"
+                row.append(entry)
+        rows.append(row)
+    return render_table(headers, rows, title=title)

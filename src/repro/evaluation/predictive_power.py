@@ -1,0 +1,51 @@
+"""Predictive power: extrapolation error at the evaluation points (Fig. 3d-f)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiment.measurement import Coordinate
+from repro.pmnf.function import PerformanceFunction
+
+
+def relative_prediction_errors(
+    model: PerformanceFunction,
+    truth: "PerformanceFunction | Sequence[float]",
+    points: Sequence[Coordinate],
+) -> np.ndarray:
+    """Percentage errors ``100 * |f̂(P) - f(P)| / |f(P)|`` at each point.
+
+    ``truth`` may be the ground-truth function (synthetic evaluation) or the
+    already-known reference values at the points (case studies, where the
+    reference is the measured value at the hold-out configuration).
+    """
+    if not points:
+        raise ValueError("no evaluation points given")
+    pts = np.stack([p.as_array() for p in points])
+    predicted = np.atleast_1d(model.evaluate(pts))
+    if isinstance(truth, PerformanceFunction):
+        reference = np.atleast_1d(truth.evaluate(pts))
+    else:
+        reference = np.asarray(truth, dtype=float)
+    if reference.shape != predicted.shape:
+        raise ValueError("one reference value per evaluation point is required")
+    if np.any(reference == 0):
+        raise ValueError("reference values must be non-zero")
+    return 100.0 * np.abs(predicted - reference) / np.abs(reference)
+
+
+def median_errors(error_matrix: np.ndarray) -> np.ndarray:
+    """Median over functions of the per-point errors.
+
+    ``error_matrix`` has shape ``(n_functions, n_points)``; the result is the
+    per-evaluation-point median plotted as one bar group in Fig. 3(d-f).
+    """
+    matrix = np.asarray(error_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise ValueError("error matrix must be 2-d and non-empty")
+    # NaN rows mark failed modeling attempts; they are excluded from the
+    # median but still counted by the sweep's failure statistics.
+    with np.errstate(all="ignore"):
+        return np.nanmedian(matrix, axis=0)

@@ -1,0 +1,32 @@
+"""Measurement data model: parameters, coordinates, repeated measurements.
+
+An :class:`~repro.experiment.experiment.Experiment` bundles everything a
+modeling run consumes: the application parameters, the measurement points
+(coordinates), and for each kernel (call path) the repeated measurement
+values at every point. The modelers never see anything else, which is what
+makes the simulated case studies (``repro.casestudies``) exact drop-ins for
+the paper's real measurement campaigns.
+"""
+
+from repro.experiment.measurement import Coordinate, Measurement, median_table, value_table
+from repro.experiment.experiment import Experiment, Kernel
+from repro.experiment.lines import ParameterLine, parameter_lines
+from repro.experiment.filters import (
+    runtime_shares,
+    relevant_kernels,
+    filter_experiment,
+)
+
+__all__ = [
+    "Coordinate",
+    "Measurement",
+    "median_table",
+    "value_table",
+    "Experiment",
+    "Kernel",
+    "ParameterLine",
+    "parameter_lines",
+    "runtime_shares",
+    "relevant_kernels",
+    "filter_experiment",
+]

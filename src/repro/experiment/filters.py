@@ -1,0 +1,77 @@
+"""Kernel filtering by runtime relevance.
+
+The paper's predictive-power analysis "only consider[s] the performance
+relevant kernels of each case study, meaning the ones that contribute more
+than one percent to the overall application runtime" (Sec. VI-C), because
+tiny kernels show huge relative variance and would distort the median
+error. These helpers derive that classification from the measured data.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.experiment.experiment import Experiment, Kernel
+
+#: The paper's relevance cut-off: > 1 % of total application runtime.
+DEFAULT_RELEVANCE_THRESHOLD: float = 0.01
+
+
+def runtime_shares(
+    experiment: Experiment, aggregation: str = "median"
+) -> Mapping[str, float]:
+    """Fraction of total runtime contributed by each kernel.
+
+    Shares are computed per coordinate (each kernel's aggregated value over
+    the sum of all kernels at that coordinate) and averaged over the
+    coordinates where the kernel was measured, so partially measured kernels
+    are not penalized for missing points.
+    """
+    kernels = experiment.kernels
+    if not kernels:
+        raise ValueError("experiment has no kernels")
+    totals: dict = {}
+    for kern in kernels:
+        for meas in kern.measurements:
+            totals[meas.coordinate] = totals.get(meas.coordinate, 0.0) + meas.aggregate(
+                aggregation
+            )
+    shares: dict[str, float] = {}
+    for kern in kernels:
+        ratios = [
+            meas.aggregate(aggregation) / totals[meas.coordinate]
+            for meas in kern.measurements
+            if totals[meas.coordinate] > 0
+        ]
+        shares[kern.name] = float(np.mean(ratios)) if ratios else 0.0
+    return shares
+
+
+def relevant_kernels(
+    experiment: Experiment,
+    threshold: float = DEFAULT_RELEVANCE_THRESHOLD,
+    aggregation: str = "median",
+) -> list[Kernel]:
+    """Kernels whose mean runtime share exceeds ``threshold``."""
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError("threshold must lie in [0, 1)")
+    shares = runtime_shares(experiment, aggregation)
+    return [kern for kern in experiment.kernels if shares[kern.name] > threshold]
+
+
+def filter_experiment(
+    experiment: Experiment,
+    threshold: float = DEFAULT_RELEVANCE_THRESHOLD,
+    aggregation: str = "median",
+) -> Experiment:
+    """Copy of the experiment containing only the relevant kernels."""
+    keep = {k.name for k in relevant_kernels(experiment, threshold, aggregation)}
+    if not keep:
+        raise ValueError("no kernel passes the relevance threshold")
+    filtered = Experiment(experiment.parameters)
+    for kern in experiment.kernels:
+        if kern.name in keep:
+            filtered.add_kernel(kern)
+    return filtered

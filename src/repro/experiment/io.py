@@ -1,0 +1,224 @@
+"""On-disk formats for experiments.
+
+Two formats are supported:
+
+* **JSON** -- a straightforward structured dump, lossless and versioned.
+* **CSV** -- one row per repetition (``kernel, metric, <parameters...>,
+  value``), the shape measurement databases and spreadsheets exchange.
+* **text** -- an Extra-P style line format that is convenient to write by
+  hand and close to what the original tool consumes::
+
+      PARAMETER p
+      PARAMETER n
+      POINTS (8 1000) (16 1000) (32 1000) (64 1000) (128 1000)
+      METRIC time
+      REGION sweep
+      DATA 10.1 9.9 10.3
+      DATA 20.6 19.8 20.1
+      ...
+
+  Each ``DATA`` line carries the repetitions of one point, in ``POINTS``
+  order; ``REGION`` starts a new kernel.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiment.experiment import Experiment, Kernel
+from repro.experiment.measurement import Coordinate, Measurement
+
+_JSON_VERSION = 1
+
+
+# --------------------------------------------------------------------- JSON
+def to_json_dict(experiment: Experiment) -> dict:
+    """Serialize an experiment into a JSON-compatible dictionary."""
+    return {
+        "version": _JSON_VERSION,
+        "parameters": list(experiment.parameters),
+        "kernels": [
+            {
+                "name": kern.name,
+                "metric": kern.metric,
+                "measurements": [
+                    {
+                        "point": list(meas.coordinate.as_tuple()),
+                        "values": meas.values.tolist(),
+                    }
+                    for meas in kern.measurements
+                ],
+            }
+            for kern in experiment.kernels
+        ],
+    }
+
+
+def from_json_dict(data: dict) -> Experiment:
+    """Inverse of :func:`to_json_dict`."""
+    if data.get("version") != _JSON_VERSION:
+        raise ValueError(f"unsupported experiment format version: {data.get('version')!r}")
+    exp = Experiment(data["parameters"])
+    for kern_data in data["kernels"]:
+        kern = exp.create_kernel(kern_data["name"], kern_data.get("metric", "time"))
+        for meas in kern_data["measurements"]:
+            kern.add(Measurement(Coordinate(*meas["point"]), meas["values"]))
+    exp.validate()
+    return exp
+
+
+def save_json(experiment: Experiment, path: "str | Path") -> None:
+    Path(path).write_text(json.dumps(to_json_dict(experiment), indent=2))
+
+
+def load_json(path: "str | Path") -> Experiment:
+    return from_json_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------- CSV
+def save_csv(experiment: Experiment, path: "str | Path") -> None:
+    """Write one row per repetition: ``kernel,metric,<params...>,value``."""
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["kernel", "metric", *experiment.parameters, "value"])
+        for kern in experiment.kernels:
+            for meas in kern.measurements:
+                for value in meas.values:
+                    writer.writerow(
+                        [kern.name, kern.metric, *[f"{v:g}" for v in meas.coordinate], f"{value:.10g}"]
+                    )
+
+
+def load_csv(path: "str | Path") -> Experiment:
+    """Parse the CSV layout written by :func:`save_csv`.
+
+    Repetitions of the same (kernel, coordinate) accumulate automatically;
+    rows may appear in any order. Parameter names are taken from the header
+    (every column between ``metric`` and ``value``).
+    """
+    import csv
+
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV file") from None
+        if len(header) < 4 or header[0] != "kernel" or header[1] != "metric" or header[-1] != "value":
+            raise ValueError(
+                f"{path}: expected header 'kernel,metric,<parameters...>,value', got {header!r}"
+            )
+        parameters = header[2:-1]
+        experiment = Experiment(parameters)
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(f"{path}:{lineno}: expected {len(header)} columns, got {len(row)}")
+            name, metric, *rest = row
+            coordinate = Coordinate(*[float(v) for v in rest[:-1]])
+            value = float(rest[-1])
+            if name not in experiment.kernel_names:
+                kernel = experiment.create_kernel(name, metric)
+            else:
+                kernel = experiment.kernel(name)
+            kernel.add(Measurement(coordinate, [value]))
+    experiment.validate()
+    return experiment
+
+
+# --------------------------------------------------------------------- text
+def save_text(experiment: Experiment, path: "str | Path") -> None:
+    """Write the Extra-P style text format."""
+    lines = [f"PARAMETER {p}" for p in experiment.parameters]
+    coords = experiment.coordinates()
+    points = " ".join("(" + " ".join(f"{v:g}" for v in c) + ")" for c in coords)
+    lines.append(f"POINTS {points}")
+    for kern in experiment.kernels:
+        lines.append(f"METRIC {kern.metric}")
+        lines.append(f"REGION {kern.name}")
+        for coord in coords:
+            if coord in kern:
+                meas = kern.measurement_at(coord)
+                lines.append("DATA " + " ".join(f"{v:.10g}" for v in meas.values))
+            else:
+                lines.append("DATA")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def _parse_points(spec: str) -> list[Coordinate]:
+    spec = spec.strip()
+    coords = []
+    depth, token = 0, []
+    for ch in spec:
+        if ch == "(":
+            if depth:
+                raise ValueError("nested parenthesis in POINTS line")
+            depth, token = 1, []
+        elif ch == ")":
+            if not depth:
+                raise ValueError("unbalanced parenthesis in POINTS line")
+            coords.append(Coordinate(*[float(v) for v in "".join(token).split()]))
+            depth = 0
+        elif depth:
+            token.append(ch)
+        elif not ch.isspace():
+            raise ValueError(f"unexpected character {ch!r} in POINTS line")
+    if depth:
+        raise ValueError("unbalanced parenthesis in POINTS line")
+    if not coords:
+        raise ValueError("POINTS line contains no points")
+    return coords
+
+
+def load_text(path: "str | Path") -> Experiment:
+    """Parse the Extra-P style text format."""
+    parameters: list[str] = []
+    points: list[Coordinate] | None = None
+    metric = "time"
+    experiment: Experiment | None = None
+    kernel: Kernel | None = None
+    data_index = 0
+
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        keyword, _, rest = line.partition(" ")
+        keyword = keyword.upper()
+        try:
+            if keyword == "PARAMETER":
+                if experiment is not None:
+                    raise ValueError("PARAMETER must precede REGION")
+                parameters.append(rest.strip())
+            elif keyword == "POINTS":
+                points = _parse_points(rest)
+            elif keyword == "METRIC":
+                metric = rest.strip()
+            elif keyword == "REGION":
+                if points is None:
+                    raise ValueError("REGION before POINTS")
+                if experiment is None:
+                    experiment = Experiment(parameters)
+                kernel = experiment.create_kernel(rest.strip(), metric)
+                data_index = 0
+            elif keyword == "DATA":
+                if kernel is None or points is None:
+                    raise ValueError("DATA before REGION")
+                if data_index >= len(points):
+                    raise ValueError("more DATA lines than POINTS")
+                values = [float(v) for v in rest.split()]
+                if values:
+                    kernel.add(Measurement(points[data_index], values))
+                data_index += 1
+            else:
+                raise ValueError(f"unknown keyword {keyword!r}")
+        except ValueError as err:
+            raise ValueError(f"{path}:{lineno}: {err}") from None
+    if experiment is None:
+        raise ValueError(f"{path}: file defines no REGION")
+    experiment.validate()
+    return experiment

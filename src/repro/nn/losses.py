@@ -1,0 +1,66 @@
+"""Loss functions.
+
+The classification loss combines softmax and cross-entropy in one object so
+the backward pass can use the numerically exact ``probs - onehot`` gradient
+instead of differentiating through an explicit softmax layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, shifted for numerical stability."""
+    z = logits - np.max(logits, axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / np.sum(e, axis=1, keepdims=True)
+
+
+class Loss:
+    """Base: ``value`` computes the scalar loss, ``gradient`` dL/d(output)."""
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + categorical cross-entropy over integer class labels."""
+
+    def _check(self, logits: np.ndarray, labels: np.ndarray) -> None:
+        if logits.ndim != 2:
+            raise ValueError("logits must be 2-d (batch, classes)")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError("labels must be 1-d integer class indices")
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        self._check(outputs, targets)
+        probs = softmax(outputs)
+        picked = probs[np.arange(len(targets)), targets]
+        return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        self._check(outputs, targets)
+        grad = softmax(outputs)
+        grad[np.arange(len(targets)), targets] -= 1.0
+        return grad / len(targets)
+
+
+class MeanSquaredError(Loss):
+    """Plain MSE for regression heads."""
+
+    def _check(self, outputs: np.ndarray, targets: np.ndarray) -> None:
+        if outputs.shape != targets.shape:
+            raise ValueError(f"shape mismatch: {outputs.shape} vs {targets.shape}")
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        self._check(outputs, targets)
+        diff = outputs - targets
+        return float(np.mean(diff * diff))
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        self._check(outputs, targets)
+        return 2.0 * (outputs - targets) / outputs.size

@@ -1,0 +1,49 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(probs_or_preds: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy; accepts probability rows or already-argmaxed labels."""
+    labels = np.asarray(labels)
+    preds = np.asarray(probs_or_preds)
+    if preds.ndim == 2:
+        preds = np.argmax(preds, axis=1)
+    if preds.shape != labels.shape:
+        raise ValueError("prediction/label shape mismatch")
+    if labels.size == 0:
+        raise ValueError("empty label array")
+    return float(np.mean(preds == labels))
+
+
+def top_k_accuracy(probs: np.ndarray, labels: np.ndarray, k: int = 3) -> float:
+    """Fraction of rows whose true label is among the k most probable classes.
+
+    The DNN modeler turns its *top-3* classes into hypotheses, so this is the
+    metric that actually predicts downstream model accuracy.
+    """
+    probs = np.asarray(probs)
+    labels = np.asarray(labels)
+    if probs.ndim != 2:
+        raise ValueError("probs must be 2-d (batch, classes)")
+    if labels.shape != (probs.shape[0],):
+        raise ValueError("labels must be 1-d with one entry per row")
+    if not 1 <= k <= probs.shape[1]:
+        raise ValueError(f"k must lie in [1, {probs.shape[1]}]")
+    topk = np.argpartition(probs, -k, axis=1)[:, -k:]
+    return float(np.mean(np.any(topk == labels[:, None], axis=1)))
+
+
+def top_k_classes(probs: np.ndarray, k: int = 3) -> np.ndarray:
+    """Indices of the k most probable classes per row, most probable first."""
+    probs = np.asarray(probs)
+    if probs.ndim == 1:
+        probs = probs[None, :]
+    if not 1 <= k <= probs.shape[1]:
+        raise ValueError(f"k must lie in [1, {probs.shape[1]}]")
+    part = np.argpartition(probs, -k, axis=1)[:, -k:]
+    rows = np.arange(probs.shape[0])[:, None]
+    order = np.argsort(probs[rows, part], axis=1)[:, ::-1]
+    return part[rows, order]

@@ -1,0 +1,238 @@
+"""The sequential network container: training loop, inference, checkpoints."""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.activations import ACTIVATIONS
+from repro.nn.layers import Dense, Layer
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, softmax
+from repro.nn.metrics import accuracy
+from repro.nn.optimizers import AdaMax, Optimizer
+from repro.util.seeding import as_generator
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training statistics returned by :meth:`Sequential.fit`."""
+
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.loss)
+
+
+class Sequential:
+    """A feed-forward stack of layers."""
+
+    def __init__(self, layers: list[Layer]):
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.layers = list(layers)
+
+    # ---------------------------------------------------------------- passes
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[tuple[tuple, np.ndarray, np.ndarray]]:
+        """``(key, param, grad)`` triples for the optimizer."""
+        triples = []
+        for idx, layer in enumerate(self.layers):
+            for name, param in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    raise RuntimeError("gradients missing; run backward() first")
+                triples.append(((idx, name), param, grad))
+        return triples
+
+    def n_parameters(self) -> int:
+        return sum(p.size for layer in self.layers for p in layer.params.values())
+
+    # -------------------------------------------------------------- training
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 128,
+        loss: "Loss | None" = None,
+        optimizer: "Optimizer | None" = None,
+        validation: "tuple[np.ndarray, np.ndarray] | None" = None,
+        rng=None,
+        shuffle: bool = True,
+        schedule=None,
+        early_stopping_patience: "int | None" = None,
+    ) -> TrainingHistory:
+        """Mini-batch gradient training.
+
+        Defaults follow the paper: softmax cross-entropy loss and the AdaMax
+        optimizer. Returns per-epoch loss/accuracy (and validation metrics
+        when a validation set is given).
+
+        ``schedule`` (a :class:`repro.nn.schedules.Schedule`) adjusts the
+        optimizer's learning rate per epoch. ``early_stopping_patience``
+        stops training when the validation loss has not improved for that
+        many consecutive epochs (requires ``validation``); the best-epoch
+        weights are restored on stop.
+        """
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        if early_stopping_patience is not None:
+            if validation is None:
+                raise ValueError("early stopping requires a validation set")
+            if early_stopping_patience < 1:
+                raise ValueError("patience must be positive")
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("x must be (n, features) with one label per row")
+        loss = loss or SoftmaxCrossEntropy()
+        optimizer = optimizer or AdaMax()
+        gen = as_generator(rng)
+        history = TrainingHistory()
+        n = x.shape[0]
+        best_val = np.inf
+        best_weights = None
+        stale_epochs = 0
+        for epoch in range(epochs):
+            if schedule is not None:
+                schedule.apply(optimizer, epoch)
+            order = gen.permutation(n) if shuffle else np.arange(n)
+            epoch_loss = 0.0
+            epoch_correct = 0.0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x[idx], y[idx]
+                out = self.forward(xb, training=True)
+                batch_loss = loss.value(out, yb)
+                if not np.isfinite(batch_loss):
+                    raise RuntimeError(
+                        "training diverged (non-finite loss); lower the learning "
+                        "rate or check the input normalization"
+                    )
+                epoch_loss += batch_loss * len(idx)
+                if out.ndim == 2 and out.shape[1] > 1:
+                    epoch_correct += np.sum(np.argmax(out, axis=1) == yb)
+                self.backward(loss.gradient(out, yb))
+                optimizer.step(self.parameters())
+            history.loss.append(epoch_loss / n)
+            history.accuracy.append(float(epoch_correct) / n)
+            if validation is not None:
+                xv, yv = validation
+                out = self.forward(np.asarray(xv, dtype=np.float32))
+                val_loss = loss.value(out, np.asarray(yv))
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(accuracy(out, np.asarray(yv)))
+                if early_stopping_patience is not None:
+                    if val_loss < best_val - 1e-12:
+                        best_val = val_loss
+                        best_weights = self.get_weights()
+                        stale_epochs = 0
+                    else:
+                        stale_epochs += 1
+                        if stale_epochs >= early_stopping_patience:
+                            break
+        if best_weights is not None:
+            self.set_weights(best_weights)
+        return history
+
+    # ------------------------------------------------------------- inference
+    def predict_logits(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 1:
+            x = x[None, :]
+        outputs = [
+            self.forward(x[start : start + batch_size])
+            for start in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """Class probabilities (softmax over the output layer)."""
+        return softmax(self.predict_logits(x, batch_size))
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        return np.argmax(self.predict_logits(x, batch_size), axis=1)
+
+    # ------------------------------------------------------------ checkpoint
+    def get_weights(self) -> list[np.ndarray]:
+        return [p.copy() for layer in self.layers for p in layer.params.values()]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        flat = [(layer, name) for layer in self.layers for name in layer.params]
+        if len(weights) != len(flat):
+            raise ValueError(f"expected {len(flat)} weight arrays, got {len(weights)}")
+        for (layer, name), w in zip(flat, weights):
+            if layer.params[name].shape != w.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {layer.params[name].shape} vs {w.shape}"
+                )
+            layer.params[name] = np.asarray(w, dtype=layer.params[name].dtype).copy()
+
+    def copy(self) -> "Sequential":
+        """Structural deep copy (same architecture, copied weights)."""
+        buffer = io.BytesIO()
+        self.save(buffer)
+        buffer.seek(0)
+        return Sequential.load(buffer)
+
+    def save(self, path: "str | Path | io.BytesIO") -> None:
+        """Save architecture + weights into one ``.npz`` file."""
+        spec = json.dumps([layer.spec() for layer in self.layers])
+        arrays = {
+            f"w{i}": w for i, w in enumerate(self.get_weights())
+        }
+        np.savez(path, spec=np.frombuffer(spec.encode(), dtype=np.uint8), **arrays)
+
+    @classmethod
+    def load(cls, path: "str | Path | io.BytesIO") -> "Sequential":
+        """Rebuild a network from :meth:`save` output."""
+        with np.load(path) as data:
+            spec = json.loads(bytes(data["spec"]).decode())
+            weights = [data[f"w{i}"] for i in range(len(data.files) - 1)]
+        layers: list[Layer] = []
+        for entry in spec:
+            kind = entry["type"]
+            if kind == "Dense":
+                layers.append(
+                    Dense(
+                        entry["in_features"],
+                        entry["out_features"],
+                        initializer=entry.get("initializer", "glorot_uniform"),
+                        dtype=entry.get("dtype", "float32"),
+                    )
+                )
+            elif kind == "LeakyReLU":
+                layers.append(ACTIVATIONS[kind](entry["alpha"]))
+            elif kind == "Dropout":
+                from repro.nn.regularization import Dropout
+
+                layers.append(Dropout(entry["rate"]))
+            elif kind in ACTIVATIONS:
+                layers.append(ACTIVATIONS[kind]())
+            else:
+                raise ValueError(f"unknown layer type {kind!r} in checkpoint")
+        net = cls(layers)
+        net.set_weights(weights)
+        return net
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"

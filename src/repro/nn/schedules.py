@@ -1,0 +1,68 @@
+"""Learning-rate schedules.
+
+Schedules mutate an optimizer's ``learning_rate`` between epochs; they are
+driven by :meth:`Sequential.fit` via the ``schedule`` argument.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Schedule:
+    """Base: maps an epoch index (0-based) to a learning rate."""
+
+    def __init__(self, base_rate: float):
+        if base_rate <= 0:
+            raise ValueError("base rate must be positive")
+        self.base_rate = float(base_rate)
+
+    def rate_for_epoch(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer, epoch: int) -> float:
+        rate = self.rate_for_epoch(epoch)
+        optimizer.learning_rate = rate
+        return rate
+
+
+class ConstantSchedule(Schedule):
+    """No decay (the default behaviour when no schedule is given)."""
+
+    def rate_for_epoch(self, epoch: int) -> float:
+        return self.base_rate
+
+
+class StepDecay(Schedule):
+    """Multiply the rate by ``factor`` every ``step`` epochs."""
+
+    def __init__(self, base_rate: float, factor: float = 0.5, step: int = 5):
+        super().__init__(base_rate)
+        if not 0 < factor <= 1:
+            raise ValueError("factor must lie in (0, 1]")
+        if step < 1:
+            raise ValueError("step must be positive")
+        self.factor = float(factor)
+        self.step = int(step)
+
+    def rate_for_epoch(self, epoch: int) -> float:
+        return self.base_rate * self.factor ** (epoch // self.step)
+
+
+class CosineDecay(Schedule):
+    """Cosine annealing from the base rate to ``min_rate`` over ``epochs``."""
+
+    def __init__(self, base_rate: float, epochs: int, min_rate: float = 0.0):
+        super().__init__(base_rate)
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+        if min_rate < 0 or min_rate > base_rate:
+            raise ValueError("min_rate must lie in [0, base_rate]")
+        self.epochs = int(epochs)
+        self.min_rate = float(min_rate)
+
+    def rate_for_epoch(self, epoch: int) -> float:
+        progress = min(epoch, self.epochs) / self.epochs
+        return self.min_rate + 0.5 * (self.base_rate - self.min_rate) * (
+            1.0 + math.cos(math.pi * progress)
+        )

@@ -1,0 +1,48 @@
+"""Noise modeling: injection for synthesis, estimation for real data.
+
+The paper assumes (by the principle of indifference) that measurement noise
+is uniformly distributed: a noise level of ``n`` means each measured value is
+the true value times ``1 + U(-n/2, +n/2)``, so ``n = 10%`` corresponds to a
+deviation of up to ±5 % (Sec. IV-D). :mod:`repro.noise.injection` implements
+that model (plus alternatives used for robustness tests), and
+:mod:`repro.noise.estimation` implements the range-of-relative-deviation
+heuristic (Eqs. 3-4) that recovers ``n`` from repeated measurements.
+"""
+
+from repro.noise.injection import (
+    NoiseModel,
+    NoNoise,
+    UniformNoise,
+    GaussianNoise,
+    UniformLevelRangeNoise,
+    GammaLevelNoise,
+    LognormalSpikeNoise,
+    SystematicErrorNoise,
+)
+from repro.noise.estimation import (
+    estimate_noise_level,
+    noise_levels_per_point,
+    NoiseSummary,
+    summarize_noise,
+    repetition_bias_factor,
+)
+from repro.noise.classification import NoiseClass, classify_noise, DEFAULT_THRESHOLDS
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "UniformNoise",
+    "GaussianNoise",
+    "UniformLevelRangeNoise",
+    "GammaLevelNoise",
+    "LognormalSpikeNoise",
+    "SystematicErrorNoise",
+    "estimate_noise_level",
+    "noise_levels_per_point",
+    "NoiseSummary",
+    "summarize_noise",
+    "repetition_bias_factor",
+    "NoiseClass",
+    "classify_noise",
+    "DEFAULT_THRESHOLDS",
+]

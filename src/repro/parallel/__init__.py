@@ -1,0 +1,5 @@
+"""Process-parallel execution of the synthetic sweeps."""
+
+from repro.parallel.pool import parallel_map, resolve_processes
+
+__all__ = ["parallel_map", "resolve_processes"]

@@ -1,0 +1,39 @@
+"""Performance model normal form (PMNF) and its exponent search space.
+
+The PMNF (paper Eq. 1) expresses the runtime of a kernel as
+
+.. math::
+
+    f(x_1, \\dots, x_m) = \\sum_k c_k \\prod_l x_l^{i_{kl}}
+    \\log_2^{j_{kl}}(x_l)
+
+with exponents drawn from the fixed set ``E`` (paper Eq. 2). The paper
+limits the search to one term per parameter, which makes the per-parameter
+choice a selection among exactly 43 ``(i, j)`` pairs -- the classes that the
+DNN predicts.
+"""
+
+from repro.pmnf.terms import CompoundTerm, ExponentPair
+from repro.pmnf.searchspace import (
+    EXPONENT_PAIRS,
+    NUM_CLASSES,
+    class_index,
+    pair_for_class,
+    nearest_class,
+)
+from repro.pmnf.function import MultiTerm, PerformanceFunction
+from repro.pmnf.parser import PMNFParseError, parse_function
+
+__all__ = [
+    "PMNFParseError",
+    "parse_function",
+    "CompoundTerm",
+    "ExponentPair",
+    "EXPONENT_PAIRS",
+    "NUM_CLASSES",
+    "class_index",
+    "pair_for_class",
+    "nearest_class",
+    "MultiTerm",
+    "PerformanceFunction",
+]

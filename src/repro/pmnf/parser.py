@@ -1,0 +1,166 @@
+"""Parsing human-readable PMNF expressions back into functions.
+
+Round-trips the output of :meth:`PerformanceFunction.format`::
+
+    8.51 + 0.11 * p^(1/3) * d * g^(4/5)
+    -2216.41 + 325.71 * log2(p) + 0.01 * n * log2(n)^2
+
+Grammar (whitespace-insensitive)::
+
+    function   := signed_term ('+' signed_term)*        # first term = constant
+    signed_term:= number | number ('*' factor)+
+    factor     := name power? | 'log2(' name ')' power?
+    power      := '^' exponent | '^(' exponent ')'
+    exponent   := integer | fraction | decimal
+
+Parameter names are resolved against the ``parameter_names`` argument; the
+default names ``x1..xm`` are accepted when none are given.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Sequence
+
+from repro.pmnf.function import MultiTerm, PerformanceFunction
+from repro.pmnf.terms import CompoundTerm, ExponentPair
+
+_NUMBER = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?"
+
+_LOG_RE = re.compile(r"^log2\(\s*(?P<name>\w+)\s*\)(?:\s*\^\s*(?P<exp>\d+))?$")
+_POW_RE = re.compile(
+    r"^(?P<name>\w+)(?:\s*\^\s*(?:\(\s*(?P<paren>[-\d/.]+)\s*\)|(?P<plain>[-\d/.]+)))?$"
+)
+
+
+class PMNFParseError(ValueError):
+    """Raised when an expression is not a valid PMNF rendering."""
+
+
+def _parse_exponent(text: str) -> Fraction:
+    try:
+        if "/" in text:
+            return Fraction(text)
+        return Fraction(text).limit_denominator(64)
+    except (ValueError, ZeroDivisionError) as err:
+        raise PMNFParseError(f"invalid exponent {text!r}") from err
+
+
+def _split_top_level(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` outside parentheses; '+'-splitting keeps signs."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise PMNFParseError("unbalanced parentheses")
+        if ch == sep and depth == 0:
+            # A '+' that is part of an exponent like 'e+05' is never at
+            # depth 0 directly after 'e'/'E'.
+            prev = text[i - 1] if i else ""
+            if sep == "+" and prev in "eE":
+                current.append(ch)
+                continue
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise PMNFParseError("unbalanced parentheses")
+    parts.append("".join(current).strip())
+    return [p for p in parts if p]
+
+
+def _parse_factor(text: str, name_to_index: dict[str, int]) -> tuple[int, ExponentPair]:
+    text = text.strip()
+    log_match = _LOG_RE.match(text)
+    if log_match:
+        name = log_match.group("name")
+        j = int(log_match.group("exp") or 1)
+        if name not in name_to_index:
+            raise PMNFParseError(f"unknown parameter {name!r}")
+        return name_to_index[name], ExponentPair(Fraction(0), j)
+    pow_match = _POW_RE.match(text)
+    if pow_match:
+        name = pow_match.group("name")
+        if name not in name_to_index:
+            raise PMNFParseError(f"unknown parameter {name!r}")
+        exp_text = pow_match.group("paren") or pow_match.group("plain")
+        i = _parse_exponent(exp_text) if exp_text else Fraction(1)
+        return name_to_index[name], ExponentPair(i, 0)
+    raise PMNFParseError(f"cannot parse factor {text!r}")
+
+
+def _parse_term(text: str, name_to_index: dict[str, int]) -> "float | MultiTerm":
+    factors_text = _split_top_level(text, "*")
+    if not factors_text:
+        raise PMNFParseError("empty term")
+    try:
+        coefficient = float(factors_text[0])
+    except ValueError:
+        raise PMNFParseError(
+            f"term {text!r} must start with its coefficient"
+        ) from None
+    if len(factors_text) == 1:
+        return coefficient
+    pairs: dict[int, ExponentPair] = {}
+    for factor_text in factors_text[1:]:
+        index, pair = _parse_factor(factor_text, name_to_index)
+        if index in pairs:
+            existing = pairs[index]
+            # Merge x^i and log2(x)^j factors of the same parameter.
+            pairs[index] = ExponentPair(existing.i + pair.i, existing.j + pair.j)
+        else:
+            pairs[index] = pair
+    factors = {idx: CompoundTerm.from_pair(p) for idx, p in pairs.items()}
+    return MultiTerm(coefficient, factors)
+
+
+def parse_function(
+    text: str,
+    parameter_names: "Sequence[str] | None" = None,
+    n_params: "int | None" = None,
+) -> PerformanceFunction:
+    """Parse a PMNF expression.
+
+    ``parameter_names`` gives the symbol for each parameter index; when
+    omitted, the default names ``x1..xm`` are assumed and the arity is
+    inferred from the highest index used (or taken from ``n_params``).
+    """
+    text = text.strip()
+    if not text:
+        raise PMNFParseError("empty expression")
+    if parameter_names is not None:
+        names = list(parameter_names)
+    else:
+        names = [f"x{l + 1}" for l in range(n_params if n_params else 8)]
+    name_to_index = {name: idx for idx, name in enumerate(names)}
+
+    constant = 0.0
+    have_constant = False
+    terms: list[MultiTerm] = []
+    max_index = -1
+    for part in _split_top_level(text, "+"):
+        parsed = _parse_term(part, name_to_index)
+        if isinstance(parsed, MultiTerm):
+            terms.append(parsed)
+            if parsed.factors:
+                max_index = max(max_index, max(parsed.factors))
+        else:
+            if have_constant:
+                raise PMNFParseError("more than one constant term")
+            constant = parsed
+            have_constant = True
+
+    if parameter_names is not None:
+        arity = len(names)
+    elif n_params is not None:
+        arity = n_params
+    else:
+        arity = max(max_index + 1, 1)
+    return PerformanceFunction(constant, terms, arity)

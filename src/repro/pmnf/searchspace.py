@@ -1,0 +1,69 @@
+"""The exponent set ``E`` (paper Eq. 2) and the 43-class label space.
+
+The set is the union of three blocks::
+
+    {0, 1/4, 1/3, 1/2, 2/3, 3/4, 1, 3/2, 2, 5/2} x {0, 1, 2}      (30 pairs)
+    {5/4, 4/3, 3}                                x {0, 1}          ( 6 pairs)
+    {4/5, 5/3, 7/4, 9/4, 7/3, 8/3, 11/4}         x {0}             ( 7 pairs)
+
+for a total of 43 ``(i, j)`` pairs, matching the 43 output neurons of the
+paper's network. Pairs are ordered by asymptotic growth ``(i, j)`` so class
+indices are stable and neighbouring classes are neighbouring growth rates.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.pmnf.terms import ExponentPair
+
+_F = Fraction
+
+_BLOCK_1_I = (_F(0), _F(1, 4), _F(1, 3), _F(1, 2), _F(2, 3), _F(3, 4), _F(1), _F(3, 2), _F(2), _F(5, 2))
+_BLOCK_2_I = (_F(5, 4), _F(4, 3), _F(3))
+_BLOCK_3_I = (_F(4, 5), _F(5, 3), _F(7, 4), _F(9, 4), _F(7, 3), _F(8, 3), _F(11, 4))
+
+
+def _build_pairs() -> tuple[ExponentPair, ...]:
+    pairs = [ExponentPair(i, j) for i in _BLOCK_1_I for j in (0, 1, 2)]
+    pairs += [ExponentPair(i, j) for i in _BLOCK_2_I for j in (0, 1)]
+    pairs += [ExponentPair(i, 0) for i in _BLOCK_3_I]
+    pairs.sort(key=ExponentPair.growth_key)
+    return tuple(pairs)
+
+
+#: All 43 exponent pairs of the search space, ordered by growth.
+EXPONENT_PAIRS: tuple[ExponentPair, ...] = _build_pairs()
+
+#: Number of classes the DNN predicts (= output-layer width).
+NUM_CLASSES: int = len(EXPONENT_PAIRS)
+
+_INDEX: dict[ExponentPair, int] = {p: k for k, p in enumerate(EXPONENT_PAIRS)}
+
+#: Class index of the constant pair ``(0, 0)``.
+CONSTANT_CLASS: int = _INDEX[ExponentPair(_F(0), 0)]
+
+
+def class_index(pair: ExponentPair) -> int:
+    """Return the class label of an exponent pair from ``E``.
+
+    Raises :class:`KeyError` for pairs outside the search space; use
+    :func:`nearest_class` to snap arbitrary pairs.
+    """
+    return _INDEX[pair]
+
+
+def pair_for_class(label: int) -> ExponentPair:
+    """Inverse of :func:`class_index`."""
+    return EXPONENT_PAIRS[label]
+
+
+def nearest_class(pair: ExponentPair, log_weight: float = 0.25) -> int:
+    # log_weight deliberately non-zero here: snapping an arbitrary pair into
+    # the search space should prefer matching log orders when i ties.
+    """Class whose exponent pair is closest to ``pair``.
+
+    Ties resolve to the lower class index (smaller growth), mirroring the
+    bias toward simpler explanations that the PMNF prior encodes.
+    """
+    return min(range(NUM_CLASSES), key=lambda k: (EXPONENT_PAIRS[k].distance(pair, log_weight), k))

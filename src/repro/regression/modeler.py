@@ -1,0 +1,69 @@
+"""Facade of the regression modeler with the common modeler interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiment.experiment import Experiment, Kernel
+from repro.pmnf.function import PerformanceFunction
+from repro.regression.multi_parameter import MultiParameterModeler
+from repro.util.timing import Timer
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Outcome of modeling one kernel -- common to all modelers."""
+
+    function: PerformanceFunction
+    cv_smape: float
+    method: str
+    seconds: float
+    kernel: str = ""
+
+    def format(self, parameter_names=None) -> str:
+        return (
+            f"[{self.method}] {self.kernel or 'kernel'}: "
+            f"{self.function.format(parameter_names)} (CV-SMAPE {self.cv_smape:.2f}%)"
+        )
+
+
+class RegressionModeler:
+    """The paper's baseline: Extra-P's purely regression-based modeler.
+
+    Implements the common modeler interface (``model_kernel`` /
+    ``model_experiment``) shared with :class:`repro.dnn.DNNModeler` and
+    :class:`repro.adaptive.AdaptiveModeler`. The ``rng`` argument is
+    accepted for interface compatibility; regression is deterministic.
+    """
+
+    method_name = "regression"
+
+    def __init__(
+        self, multi: "MultiParameterModeler | None" = None, aggregation: str = "median"
+    ):
+        self.multi = multi or MultiParameterModeler(aggregation=aggregation)
+
+    def model_kernel(
+        self, kernel: Kernel, n_params: "int | None" = None, rng=None
+    ) -> ModelResult:
+        """Model one kernel; ``n_params`` defaults to the coordinate arity."""
+        if len(kernel) == 0:
+            raise ValueError(f"kernel {kernel.name!r} has no measurements")
+        if n_params is None:
+            n_params = kernel.coordinates[0].dimensions
+        with Timer() as timer:
+            scored = self.multi.model_kernel(kernel, n_params)
+        return ModelResult(
+            function=scored.function,
+            cv_smape=scored.cv_smape,
+            method=self.method_name,
+            seconds=timer.elapsed,
+            kernel=kernel.name,
+        )
+
+    def model_experiment(self, experiment: Experiment, rng=None) -> dict[str, ModelResult]:
+        """Model every kernel of an experiment."""
+        return {
+            kern.name: self.model_kernel(kern, experiment.n_params)
+            for kern in experiment.kernels
+        }

@@ -1,0 +1,25 @@
+"""Symmetric mean absolute percentage error -- Extra-P's model-selection metric."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def smape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """SMAPE in percent: ``mean(2 |a - p| / (|a| + |p|)) * 100``.
+
+    Bounded by [0, 200]; points where both values are exactly zero contribute
+    zero error. Symmetric in over- and under-prediction, which is why Extra-P
+    prefers it over plain MAPE for selecting among hypotheses whose scales
+    differ wildly.
+    """
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {p.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compute SMAPE of empty arrays")
+    denom = np.abs(a) + np.abs(p)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ratio = np.where(denom > 0, 2.0 * np.abs(a - p) / denom, 0.0)
+    return float(np.mean(ratio) * 100.0)

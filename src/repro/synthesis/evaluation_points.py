@@ -1,0 +1,24 @@
+"""Out-of-range evaluation points ``P+`` (paper Fig. 2).
+
+Predictive power is measured at four points beyond the modeled range,
+obtained by continuing every parameter's value sequence simultaneously:
+``P+_k`` has each parameter at the ``k``-th continuation value, so ``P+_4``
+is the farthest extrapolation (diagonally, in all parameters at once).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiment.measurement import Coordinate
+from repro.synthesis.sequences import continue_sequence
+
+
+def evaluation_points(
+    parameter_values: Sequence[np.ndarray], count: int = 4
+) -> list[Coordinate]:
+    """The ``count`` diagonal continuation points of a measurement grid."""
+    continuations = [continue_sequence(np.asarray(v, dtype=float), count) for v in parameter_values]
+    return [Coordinate(*[cont[k] for cont in continuations]) for k in range(count)]

@@ -1,0 +1,123 @@
+"""Labelled training-set generation for the DNN classifier.
+
+Pretraining (paper Sec. IV-D) draws everything at random: the exponent class,
+the coefficients, the sequence family, the number of points, the noise level,
+and the number of repetitions ("up to five"). Domain adaptation
+(Sec. IV-E) instead fixes the sequence(s), repetition count, and noise range
+to those observed in the modeling task at hand -- expressed here by setting
+``parameter_value_sets``, ``repetitions``, and ``noise`` on the config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.noise.injection import NoiseModel, UniformLevelRangeNoise
+from repro.pmnf.searchspace import NUM_CLASSES, pair_for_class
+from repro.pmnf.terms import CompoundTerm
+from repro.preprocessing.encoding import MAX_POINTS, MIN_POINTS, encode_line
+from repro.synthesis.functions import COEFFICIENT_RANGE, random_coefficient
+from repro.synthesis.sequences import SequenceKind, random_sequence
+from repro.util.seeding import as_generator
+
+
+@dataclass
+class TrainingSetConfig:
+    """Configuration of one synthetic training-set generation run."""
+
+    samples_per_class: int = 200
+    #: Noise model applied to every repetition. The pretraining default draws
+    #: a fresh level from [0, 100%] per sample, as in the paper.
+    noise: NoiseModel = field(default_factory=lambda: UniformLevelRangeNoise(0.0, 1.0))
+    #: Maximum repetitions per point; each sample draws 1..repetitions
+    #: ("up to five") unless ``fixed_repetitions`` is set.
+    repetitions: int = 5
+    fixed_repetitions: bool = False
+    min_points: int = MIN_POINTS
+    max_points: int = MAX_POINTS
+    #: Restrict the random sequence families (None = all).
+    sequence_kinds: "tuple[SequenceKind, ...] | None" = None
+    #: Domain adaptation: generate on exactly these parameter-value sets
+    #: (each sample uses one of them) instead of random sequences.
+    parameter_value_sets: "Sequence[np.ndarray] | None" = None
+    coefficient_range: tuple[float, float] = COEFFICIENT_RANGE
+
+    def __post_init__(self) -> None:
+        if self.samples_per_class < 1:
+            raise ValueError("samples_per_class must be positive")
+        if not (2 <= self.min_points <= self.max_points <= MAX_POINTS):
+            raise ValueError(
+                f"point counts must satisfy 2 <= min <= max <= {MAX_POINTS}, "
+                f"got [{self.min_points}, {self.max_points}]"
+            )
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be positive")
+
+
+def _sample_sequence(config: TrainingSetConfig, gen: np.random.Generator) -> np.ndarray:
+    if config.parameter_value_sets is not None:
+        sets = config.parameter_value_sets
+        xs = np.asarray(sets[int(gen.integers(len(sets)))], dtype=float)
+        if xs.size > MAX_POINTS:
+            raise ValueError(f"parameter-value set longer than {MAX_POINTS}")
+        return xs
+    length = int(gen.integers(config.min_points, config.max_points + 1))
+    kind = None
+    if config.sequence_kinds is not None:
+        kind = config.sequence_kinds[int(gen.integers(len(config.sequence_kinds)))]
+    return random_sequence(length, kind, gen)
+
+
+def synthesize_sample(
+    label: int,
+    config: TrainingSetConfig,
+    rng: "np.random.Generator | int | None" = None,
+) -> np.ndarray:
+    """Generate one encoded input vector whose ground-truth class is ``label``."""
+    gen = as_generator(rng)
+    xs = _sample_sequence(config, gen)
+    pair = pair_for_class(label)
+    c0 = random_coefficient(gen, config.coefficient_range)
+    if pair.is_constant:
+        truth = np.full(xs.size, c0)
+    else:
+        c1 = random_coefficient(gen, config.coefficient_range)
+        truth = c0 + c1 * CompoundTerm.from_pair(pair).evaluate(xs)
+    rep = (
+        config.repetitions
+        if config.fixed_repetitions
+        else int(gen.integers(1, config.repetitions + 1))
+    )
+    noisy = config.noise.apply(np.repeat(truth[:, None], rep, axis=1), gen)
+    medians = np.median(noisy, axis=1)
+    return encode_line(xs, medians)
+
+
+def generate_training_set(
+    config: TrainingSetConfig,
+    rng: "np.random.Generator | int | None" = None,
+    shuffle: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``(X, y)`` with ``samples_per_class`` examples of each class.
+
+    ``X`` has shape ``(43 * samples_per_class, 11)`` and ``y`` holds integer
+    class labels. Classes are balanced by construction, matching the paper's
+    "fixed amount of synthetic training samples per class".
+    """
+    gen = as_generator(rng)
+    n = NUM_CLASSES * config.samples_per_class
+    X = np.empty((n, MAX_POINTS), dtype=float)
+    y = np.empty(n, dtype=np.int64)
+    row = 0
+    for label in range(NUM_CLASSES):
+        for _ in range(config.samples_per_class):
+            X[row] = synthesize_sample(label, config, gen)
+            y[row] = label
+            row += 1
+    if shuffle:
+        order = gen.permutation(n)
+        X, y = X[order], y[order]
+    return X, y

@@ -1,0 +1,46 @@
+"""Lightweight wall-clock timing used by the overhead analysis (Fig. 6)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError("timer already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the timer and return the duration of this interval."""
+        if self._started is None:
+            raise RuntimeError("timer not running")
+        interval = time.perf_counter() - self._started
+        self.elapsed += interval
+        self._started = None
+        return interval
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started = None

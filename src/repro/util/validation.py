@@ -1,0 +1,31 @@
+"""Argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def require_positive(name: str, value: float) -> float:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def require_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Raise :class:`ValueError` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value!r}")
+    return float(value)
+
+
+def as_float_array(name: str, values: Iterable[float], ndim: int = 1) -> np.ndarray:
+    """Convert to a float array of the expected dimensionality."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr

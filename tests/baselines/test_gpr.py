@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.baselines.gpr import GaussianProcessRegressor, GPRModeler
+from repro.experiment.measurement import Coordinate
+from repro.noise.injection import UniformNoise
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.terms import ExponentPair
+from repro.synthesis.measurements import synthesize_experiment
+
+XS = np.array([[4.0], [8.0], [16.0], [32.0], [64.0], [128.0], [256.0]])
+
+
+class TestGaussianProcessRegressor:
+    def test_interpolates_smooth_function(self):
+        y = 5.0 + 2.0 * np.log2(XS[:, 0])
+        gpr = GaussianProcessRegressor(rng=0).fit(XS, y)
+        pred = gpr.predict(XS)
+        np.testing.assert_allclose(pred, y, rtol=0.05)
+
+    def test_in_range_prediction_between_points(self):
+        y = XS[:, 0] ** 0.5
+        gpr = GaussianProcessRegressor(rng=0).fit(XS, y)
+        pred = float(gpr.predict(np.array([[48.0]]))[0])
+        assert np.sqrt(16.0) < pred < np.sqrt(256.0)
+
+    def test_noise_absorbed_not_interpolated(self):
+        """With noisy targets the GP should smooth, not chase, the noise."""
+        gen = np.random.default_rng(0)
+        truth = 10.0 + XS[:, 0]
+        noisy = truth * (1 + gen.uniform(-0.3, 0.3, XS.shape[0]))
+        gpr = GaussianProcessRegressor(rng=0).fit(XS, noisy)
+        pred = gpr.predict(XS)
+        # Prediction is closer to the smooth truth than the noisy targets are.
+        assert np.mean(np.abs(pred - truth)) < np.mean(np.abs(noisy - truth))
+        assert gpr.noise_level_ > 1e-3
+
+    def test_extrapolation_reverts_to_mean(self):
+        """The stationary RBF prior pulls far extrapolations back toward the
+        data mean -- the 'sacrificing predictive power' behaviour."""
+        y = 1.0 + XS[:, 0]
+        gpr = GaussianProcessRegressor(rng=0).fit(XS, y)
+        far = float(gpr.predict(np.array([[65536.0]]))[0])
+        assert far < 1.0 + 65536.0  # nowhere near the true continuation
+
+    def test_predict_std_grows_away_from_data(self):
+        y = XS[:, 0] ** 0.5
+        gpr = GaussianProcessRegressor(rng=0).fit(XS, y)
+        _, std_in = gpr.predict(np.array([[32.0]]), return_std=True)
+        _, std_out = gpr.predict(np.array([[8192.0]]), return_std=True)
+        assert std_out[0] > std_in[0]
+
+    def test_multi_dimensional_inputs(self):
+        gen = np.random.default_rng(1)
+        x = np.stack(
+            [gen.choice([4.0, 8.0, 16.0, 32.0], 20), gen.choice([10.0, 20.0, 40.0], 20)],
+            axis=1,
+        )
+        y = x[:, 0] + 0.5 * x[:, 1]
+        gpr = GaussianProcessRegressor(rng=0).fit(x, y)
+        assert gpr.predict(x).shape == (20,)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(XS)
+
+    def test_input_validation(self):
+        gpr = GaussianProcessRegressor()
+        with pytest.raises(ValueError):
+            gpr.fit(XS[:1], np.array([1.0]))
+        with pytest.raises(ValueError):
+            gpr.fit(XS, np.ones(3))
+        with pytest.raises(ValueError):
+            gpr.fit(-XS, np.ones(XS.shape[0]))
+
+    def test_deterministic(self):
+        y = XS[:, 0] ** 0.75
+        a = GaussianProcessRegressor(rng=3).fit(XS, y).predict(XS)
+        b = GaussianProcessRegressor(rng=3).fit(XS, y).predict(XS)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGPRModeler:
+    def test_predicts_at_coordinates(self):
+        truth = PerformanceFunction.single_term(5.0, 1.0, [ExponentPair(1, 0)])
+        exp = synthesize_experiment(
+            truth, [np.array([4.0, 8.0, 16.0, 32.0, 64.0])], UniformNoise(0.2), rng=0
+        )
+        modeler = GPRModeler(rng=0)
+        pred = modeler.predict_at(exp.only_kernel(), [Coordinate(24.0)])
+        assert 10.0 < float(pred[0]) < 80.0  # plausible in-range value

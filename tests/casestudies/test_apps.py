@@ -1,0 +1,124 @@
+"""Calibration tests: the simulated campaigns must match the paper's setup
+(parameters, point counts, repetitions) and approximate its measured noise
+distributions (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.casestudies import fastest, kripke, relearn
+from repro.experiment.measurement import Coordinate
+from repro.noise.estimation import summarize_noise
+
+
+@pytest.fixture(scope="module")
+def kripke_campaign():
+    app = kripke()
+    return app, app.run_campaign(rng=0)
+
+
+@pytest.fixture(scope="module")
+def fastest_campaign():
+    app = fastest()
+    return app, app.run_campaign(rng=0)
+
+
+@pytest.fixture(scope="module")
+def relearn_campaign():
+    app = relearn()
+    return app, app.run_campaign(rng=0)
+
+
+class TestKripke:
+    def test_campaign_dimensions(self, kripke_campaign):
+        """750 experiments: 150 measurement points x 5 repetitions."""
+        app, campaign = kripke_campaign
+        assert app.parameters == ("p", "d", "g")
+        assert len(campaign.coordinates()) == 150  # eval point is on the grid
+        assert app.repetitions == 5
+        assert len(app.kernels) == 6
+
+    def test_modeling_excludes_d12(self, kripke_campaign):
+        """The paper models with 625 of 750 experiments (x2 = 12 held out)."""
+        app, campaign = kripke_campaign
+        modeling = app.modeling_experiment(campaign)
+        coords = modeling.coordinates()
+        assert len(coords) == 125
+        assert all(c[1] != 12.0 for c in coords)
+
+    def test_evaluation_point(self, kripke_campaign):
+        app, _ = kripke_campaign
+        assert app.evaluation_point == Coordinate(32768.0, 12.0, 160.0)
+
+    def test_sweep_solver_ground_truth(self, kripke_campaign):
+        """SweepSolver follows the model the paper reports."""
+        app, _ = kripke_campaign
+        value = app.true_value("SweepSolver", Coordinate(8.0, 2.0, 32.0))
+        expected = 8.51 + 0.11 * 8 ** (1 / 3) * 2 * 32 ** (4 / 5)
+        assert value == pytest.approx(expected)
+
+    def test_noise_distribution_matches_fig5(self, kripke_campaign):
+        """Fig. 5 Kripke panel: mean ~17.4 %, min ~3.7 %, max ~54 %."""
+        app, campaign = kripke_campaign
+        summary = summarize_noise(app.modeling_experiment(campaign))
+        assert 0.10 <= summary.mean <= 0.26
+        assert summary.maximum <= 1.0
+        assert summary.minimum <= 0.10
+
+    def test_all_kernels_relevant(self, kripke_campaign):
+        app, _ = kripke_campaign
+        assert len(app.relevant_kernels()) == 6
+
+
+class TestFastest:
+    def test_modeling_uses_two_crossing_lines(self, fastest_campaign):
+        """Nine modeling points: two lines of five overlapping at one."""
+        app, campaign = fastest_campaign
+        modeling = app.modeling_experiment(campaign)
+        coords = modeling.coordinates()
+        assert len(coords) == 9
+        assert Coordinate(256.0, 131072.0) in coords  # the crossing point
+
+    def test_twenty_relevant_kernels(self, fastest_campaign):
+        app, _ = fastest_campaign
+        assert len(app.relevant_kernels()) == 20
+        assert len(app.kernels) > 20  # some below the 1 % cut
+
+    def test_evaluation_point(self, fastest_campaign):
+        app, _ = fastest_campaign
+        assert app.evaluation_point == Coordinate(2048.0, 8192.0)
+
+    def test_noise_distribution_matches_fig5(self, fastest_campaign):
+        """Fig. 5 FASTEST panel: mean ~50 %, maxima beyond 100 %."""
+        app, campaign = fastest_campaign
+        summary = summarize_noise(app.modeling_experiment(campaign))
+        assert 0.30 <= summary.mean <= 0.75
+        assert summary.maximum > 1.0
+
+
+class TestRelearn:
+    def test_campaign_dimensions(self, relearn_campaign):
+        """25 configurations, two repetitions each."""
+        app, campaign = relearn_campaign
+        assert len(campaign.coordinates()) == 25
+        assert app.repetitions == 2
+
+    def test_modeling_lines(self, relearn_campaign):
+        app, campaign = relearn_campaign
+        modeling = app.modeling_experiment(campaign)
+        coords = modeling.coordinates()
+        assert len(coords) == 9
+        assert Coordinate(32.0, 5000.0) in coords  # overlap point
+
+    def test_connectivity_update_theory(self, relearn_campaign):
+        """Ground truth follows O(x2 log^2 x2 + x1) from the literature."""
+        app, _ = relearn_campaign
+        kern = next(k for k in app.kernels if k.name == "connectivity_update")
+        leads = kern.function.lead_exponents()
+        assert float(leads[0].i) == 1.0  # x1 linear
+        assert (float(leads[1].i), leads[1].j) == (1.0, 2)  # x2 log^2 x2
+
+    def test_noise_nearly_absent(self, relearn_campaign):
+        """Fig. 5 RELeARN panel: ~0.65 % noise."""
+        app, campaign = relearn_campaign
+        summary = summarize_noise(app.modeling_experiment(campaign))
+        assert summary.mean < 0.02

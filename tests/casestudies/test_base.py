@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.casestudies.base import SimulatedApplication, SimulatedKernel
+from repro.experiment.measurement import Coordinate
+from repro.noise.injection import NoNoise, UniformNoise
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.terms import ExponentPair
+
+
+def make_app(**overrides):
+    kernels = [
+        SimulatedKernel(
+            "big",
+            PerformanceFunction.single_term(1.0, 1.0, [ExponentPair(1, 0), ExponentPair(0, 0)]),
+            NoNoise(),
+            0.9,
+        ),
+        SimulatedKernel(
+            "tiny",
+            PerformanceFunction.constant_function(0.01, 2),
+            NoNoise(),
+            0.005,
+        ),
+    ]
+    defaults = dict(
+        name="demo",
+        parameters=("p", "n"),
+        value_sets=([4.0, 8.0, 16.0], [10.0, 20.0]),
+        kernels=kernels,
+        repetitions=3,
+        evaluation_point=Coordinate(32.0, 40.0),
+    )
+    defaults.update(overrides)
+    return SimulatedApplication(**defaults)
+
+
+class TestSimulatedKernel:
+    def test_relevance_threshold(self):
+        app = make_app()
+        assert [k.name for k in app.relevant_kernels()] == ["big"]
+
+
+class TestCampaign:
+    def test_grid_plus_evaluation_point(self):
+        app = make_app()
+        coords = app.campaign_coordinates()
+        assert len(coords) == 3 * 2 + 1
+        assert app.evaluation_point in coords
+
+    def test_run_campaign_structure(self):
+        exp = make_app().run_campaign(rng=0)
+        assert exp.parameters == ("p", "n")
+        assert set(exp.kernel_names) == {"big", "tiny"}
+        for kern in exp.kernels:
+            assert len(kern) == 7
+            assert all(m.repetitions == 3 for m in kern.measurements)
+
+    def test_campaign_values_match_functions(self):
+        app = make_app()
+        exp = app.run_campaign(rng=0)
+        meas = exp.kernel("big").measurement_at(Coordinate(8.0, 10.0))
+        assert meas.median == pytest.approx(app.true_value("big", Coordinate(8.0, 10.0)))
+
+    def test_noise_applied(self):
+        noisy = SimulatedKernel(
+            "n",
+            PerformanceFunction.constant_function(10.0, 2),
+            UniformNoise(0.5),
+            1.0,
+        )
+        app = make_app(kernels=[noisy])
+        exp = app.run_campaign(rng=0)
+        values = exp.kernel("n").measurement_at(Coordinate(4.0, 10.0)).values
+        assert np.ptp(values) > 0
+
+    def test_deterministic(self):
+        a = make_app().run_campaign(rng=5)
+        b = make_app().run_campaign(rng=5)
+        ka, kb = a.kernel("big"), b.kernel("big")
+        for coord in ka.coordinates:
+            np.testing.assert_array_equal(
+                ka.measurement_at(coord).values, kb.measurement_at(coord).values
+            )
+
+
+class TestModelingSubset:
+    def test_evaluation_point_excluded(self):
+        app = make_app()
+        modeling = app.modeling_experiment(app.run_campaign(rng=0))
+        assert app.evaluation_point not in modeling.kernel("big")
+
+    def test_custom_filter(self):
+        app = make_app(modeling_coordinates=lambda c: c[0] != 16.0)
+        modeling = app.modeling_experiment(app.run_campaign(rng=0))
+        assert len(modeling.kernel("big")) == 4  # 2x2 grid remains
+
+    def test_true_value_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            make_app().true_value("nope", Coordinate(4.0, 10.0))
+
+
+class TestValidation:
+    def test_arity_mismatch_rejected(self):
+        bad = SimulatedKernel(
+            "bad", PerformanceFunction.constant_function(1.0, 1), NoNoise(), 0.5
+        )
+        with pytest.raises(ValueError, match="arity"):
+            make_app(kernels=[bad])
+
+    def test_value_set_count_checked(self):
+        with pytest.raises(ValueError):
+            make_app(value_sets=([4.0, 8.0],))

@@ -1,0 +1,92 @@
+"""Shared fixtures.
+
+The expensive fixture is the tiny pretrained network: it is pretrained once
+per test session (a few seconds) and shared by every DNN-dependent test.
+Tests that need *quality* (the full ``fast`` network) are integration tests
+and use the on-disk cache via ``load_or_pretrain``; they are marked ``slow``
+and excluded by ``-m "not slow"``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.dnn.config import NetworkConfig, PretrainConfig
+from repro.dnn.pretrained import pretrain_network
+from repro.experiment.experiment import Experiment
+from repro.noise.injection import UniformNoise
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.terms import ExponentPair
+from repro.synthesis.measurements import synthesize_experiment
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running integration/quality tests")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_pretrain_config() -> PretrainConfig:
+    return PretrainConfig(
+        network=NetworkConfig(hidden_sizes=(96, 64), name="tiny"),
+        samples_per_class=150,
+        epochs=6,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_network(tiny_pretrain_config):
+    """A small but functional pretrained classifier, shared session-wide."""
+    return pretrain_network(tiny_pretrain_config)
+
+
+@pytest.fixture
+def powerlaw_function() -> PerformanceFunction:
+    """Ground truth ``5 + 2 * x^(3/2)``."""
+    return PerformanceFunction.single_term(5.0, 2.0, [ExponentPair(Fraction(3, 2), 0)])
+
+
+@pytest.fixture
+def clean_experiment_1p(powerlaw_function) -> Experiment:
+    """Noise-free single-parameter experiment on (4, 8, ..., 64)."""
+    return synthesize_experiment(
+        powerlaw_function, [np.array([4.0, 8.0, 16.0, 32.0, 64.0])], repetitions=3, rng=0
+    )
+
+
+@pytest.fixture
+def noisy_experiment_1p(powerlaw_function) -> Experiment:
+    """The same campaign under 50 % uniform noise."""
+    return synthesize_experiment(
+        powerlaw_function,
+        [np.array([4.0, 8.0, 16.0, 32.0, 64.0])],
+        noise=UniformNoise(0.5),
+        repetitions=5,
+        rng=1,
+    )
+
+
+@pytest.fixture
+def multiplicative_function_2p() -> PerformanceFunction:
+    """Ground truth ``3 + 0.5 * x1 * sqrt(x2) * log2(x2)``."""
+    return PerformanceFunction.single_term(
+        3.0, 0.5, [ExponentPair(1, 0), ExponentPair(Fraction(1, 2), 1)]
+    )
+
+
+@pytest.fixture
+def clean_experiment_2p(multiplicative_function_2p) -> Experiment:
+    return synthesize_experiment(
+        multiplicative_function_2p,
+        [np.array([4.0, 8.0, 16.0, 32.0, 64.0]), np.array([10.0, 20.0, 30.0, 40.0, 50.0])],
+        repetitions=3,
+        rng=2,
+    )

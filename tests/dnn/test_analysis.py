@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.dnn.analysis import ClassifierReport, _pair_distances, evaluate_classifier
+from repro.pmnf.searchspace import NUM_CLASSES
+from repro.synthesis.training import TrainingSetConfig
+
+
+class TestPairDistances:
+    def test_shape_and_diagonal(self):
+        dist = _pair_distances()
+        assert dist.shape == (NUM_CLASSES, NUM_CLASSES)
+        np.testing.assert_array_equal(np.diag(dist), 0.0)
+
+    def test_symmetric(self):
+        dist = _pair_distances()
+        np.testing.assert_allclose(dist, dist.T)
+
+
+class TestEvaluateClassifier:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_network):
+        return evaluate_classifier(tiny_network, samples_per_class=6, rng=0)
+
+    def test_metrics_ordered(self, report):
+        """Exponent-space accuracy dominates class-space accuracy, and the
+        beam dominates the single guess -- the structural claims the DNN
+        modeler design rests on."""
+        assert report.top1 <= report.top3
+        assert report.top1 <= report.within_quarter
+        assert report.within_quarter <= report.within_quarter_top3
+
+    def test_beats_chance(self, report):
+        assert report.top1 > 1.5 / NUM_CLASSES
+        assert report.within_quarter_top3 > 0.2
+
+    def test_sample_count(self, report):
+        assert report.n_samples == 6 * NUM_CLASSES
+
+    def test_per_class_shape(self, report):
+        assert report.per_class_top1.shape == (NUM_CLASSES,)
+        assert np.all((report.per_class_top1 >= 0) & (report.per_class_top1 <= 1))
+
+    def test_hardest_classes(self, report):
+        hardest = report.hardest_classes(3)
+        assert len(hardest) == 3
+        values = [v for _, v in hardest]
+        assert values == sorted(values)
+
+    def test_format(self, report):
+        text = report.format()
+        assert "top-3 accuracy" in text and "d<=1/4" in text
+
+    def test_custom_task_distribution(self, tiny_network):
+        config = TrainingSetConfig(
+            parameter_value_sets=[np.array([4.0, 8.0, 16.0, 32.0, 64.0])]
+        )
+        report = evaluate_classifier(tiny_network, config, samples_per_class=4, rng=1)
+        assert report.n_samples == 4 * NUM_CLASSES
+
+    def test_deterministic(self, tiny_network):
+        a = evaluate_classifier(tiny_network, samples_per_class=4, rng=5)
+        b = evaluate_classifier(tiny_network, samples_per_class=4, rng=5)
+        assert a.top1 == b.top1 and a.mean_lead_distance == b.mean_lead_distance

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.dnn.config import NetworkConfig, PretrainConfig
+
+
+class TestNetworkConfig:
+    def test_paper_architecture(self):
+        """Sec. IV-D: five hidden layers, 2x1500 / 750 / 2x250, 11 in, 43 out."""
+        cfg = NetworkConfig.paper()
+        assert cfg.hidden_sizes == (1500, 1500, 750, 250, 250)
+        assert cfg.input_size == 11
+        assert cfg.output_size == 43
+
+    def test_fast_is_smaller(self):
+        assert sum(NetworkConfig.fast().hidden_sizes) < sum(NetworkConfig.paper().hidden_sizes)
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET", "paper")
+        assert NetworkConfig.default().name == "paper"
+        monkeypatch.setenv("REPRO_NET", "fast")
+        assert NetworkConfig.default().name == "fast"
+        monkeypatch.setenv("REPRO_NET", "bogus")
+        with pytest.raises(ValueError):
+            NetworkConfig.default()
+
+    def test_invalid_hidden_sizes(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(hidden_sizes=())
+        with pytest.raises(ValueError):
+            NetworkConfig(hidden_sizes=(10, 0))
+
+
+class TestPretrainConfig:
+    def test_cache_key_stable(self):
+        assert PretrainConfig().cache_key() == PretrainConfig().cache_key()
+
+    def test_cache_key_sensitive_to_everything(self):
+        base = PretrainConfig(network=NetworkConfig.fast())
+        variants = [
+            PretrainConfig(samples_per_class=base.samples_per_class + 1),
+            PretrainConfig(epochs=base.epochs + 1),
+            PretrainConfig(batch_size=base.batch_size * 2),
+            PretrainConfig(learning_rate=base.learning_rate / 2),
+            PretrainConfig(seed=base.seed + 1),
+            PretrainConfig(network=NetworkConfig.paper()),
+        ]
+        keys = {v.cache_key() for v in variants}
+        assert base.cache_key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_default_respects_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET", "fast")
+        assert PretrainConfig.default().network.name == "fast"

@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.dnn.modeler import DNNModeler
+from repro.experiment.experiment import Experiment
+from repro.pmnf.terms import ExponentPair
+
+
+@pytest.fixture
+def modeler(tiny_network) -> DNNModeler:
+    return DNNModeler(network=tiny_network, use_domain_adaptation=False)
+
+
+class TestClassification:
+    def test_top_k_pairs_per_line(self, modeler, clean_experiment_2p):
+        kern = clean_experiment_2p.only_kernel()
+        candidates = modeler.classify_lines(kern, 2, modeler.generic_network)
+        assert len(candidates) == 2
+        assert all(len(c) == 3 for c in candidates)
+        assert all(isinstance(p, ExponentPair) for c in candidates for p in c)
+
+    def test_top_k_configurable(self, tiny_network, clean_experiment_1p):
+        m = DNNModeler(network=tiny_network, top_k=5, use_domain_adaptation=False)
+        kern = clean_experiment_1p.only_kernel()
+        (candidates,) = m.classify_lines(kern, 1, tiny_network)
+        assert len(candidates) == 5
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ValueError):
+            DNNModeler(top_k=0)
+
+
+class TestModelKernel:
+    def test_single_parameter_result(self, modeler, clean_experiment_1p):
+        result = modeler.model_kernel(clean_experiment_1p.only_kernel(), rng=0)
+        assert result.method == "dnn"
+        assert result.function.n_params == 1
+        assert np.isfinite(result.cv_smape)
+
+    def test_constant_kernel_always_modelable(self, modeler):
+        """Even if no top-k class is constant, the constant safety net must
+        let a flat kernel be modeled."""
+        exp = Experiment.single_parameter(
+            "p", [4, 8, 16, 32, 64], [[7.0, 7.0]] * 5
+        )
+        result = modeler.model_kernel(exp.only_kernel(), rng=0)
+        assert result.function.is_constant()
+
+    def test_multi_parameter_result(self, modeler, clean_experiment_2p):
+        result = modeler.model_kernel(clean_experiment_2p.only_kernel(), rng=0)
+        assert result.function.n_params == 2
+
+    def test_selection_prefers_good_fit(self, modeler, clean_experiment_1p):
+        """On clean data the chosen hypothesis must fit nearly perfectly
+        whenever the true class is among the candidates; at minimum the CV
+        error must be bounded by construction."""
+        result = modeler.model_kernel(clean_experiment_1p.only_kernel(), rng=0)
+        assert result.cv_smape <= 200.0
+
+    def test_empty_kernel_rejected(self, modeler):
+        exp = Experiment(["p"])
+        kern = exp.create_kernel("k")
+        with pytest.raises(ValueError):
+            modeler.model_kernel(kern)
+
+    def test_deterministic_without_adaptation(self, modeler, noisy_experiment_1p):
+        kern = noisy_experiment_1p.only_kernel()
+        a = modeler.model_kernel(kern, rng=0)
+        b = modeler.model_kernel(kern, rng=1)  # rng irrelevant w/o adaptation
+        assert a.function.format() == b.function.format()
+
+
+class TestDomainAdaptationFlow:
+    def test_adaptation_cache_reused(self, tiny_network, clean_experiment_2p):
+        m = DNNModeler(
+            network=tiny_network,
+            use_domain_adaptation=True,
+            adaptation_samples_per_class=5,
+        )
+        m.model_experiment(clean_experiment_2p, rng=0)
+        assert len(m._adapted) == 1
+        m.model_experiment(clean_experiment_2p, rng=0)
+        assert len(m._adapted) == 1  # same task -> same adapted network
+
+    def test_injected_network_bypasses_adaptation(self, tiny_network, clean_experiment_1p):
+        m = DNNModeler(
+            network=tiny_network,
+            use_domain_adaptation=True,
+            adaptation_samples_per_class=5,
+        )
+        m.model_kernel(clean_experiment_1p.only_kernel(), rng=0, network=tiny_network)
+        assert len(m._adapted) == 0
+
+
+class TestModelExperiment:
+    def test_all_kernels_modeled(self, modeler, clean_experiment_1p):
+        results = modeler.model_experiment(clean_experiment_1p, rng=0)
+        assert set(results) == {"synthetic"}
+        assert results["synthetic"].kernel == "synthetic"

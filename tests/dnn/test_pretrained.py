@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.dnn.config import NetworkConfig, PretrainConfig
+from repro.dnn.pretrained import (
+    default_cache_dir,
+    load_or_pretrain,
+    pretrain_network,
+    pretraining_set_config,
+)
+
+TINY = PretrainConfig(
+    network=NetworkConfig(hidden_sizes=(16,), name="micro"),
+    samples_per_class=5,
+    epochs=1,
+    seed=1,
+)
+
+
+class TestPretrainNetwork:
+    def test_returns_trainable_network(self):
+        net = pretrain_network(TINY)
+        assert net.predict_proba(np.zeros((1, 11))).shape == (1, 43)
+
+    def test_history_returned_on_request(self):
+        net, history = pretrain_network(TINY, return_history=True)
+        assert history.epochs == 1
+        assert history.loss[0] > 0
+
+    def test_deterministic_from_config_seed(self):
+        a = pretrain_network(TINY)
+        b = pretrain_network(TINY)
+        x = np.random.default_rng(0).random((3, 11)).astype(np.float32)
+        np.testing.assert_array_equal(a.predict_logits(x), b.predict_logits(x))
+
+    def test_training_improves_over_chance(self, tiny_network, tiny_pretrain_config):
+        """After session pretraining the network must beat random guessing
+        (1/43) clearly on fresh data."""
+        from repro.synthesis.training import generate_training_set
+        from repro.nn.metrics import accuracy
+
+        cfg = pretraining_set_config(tiny_pretrain_config)
+        from dataclasses import replace
+
+        x, y = generate_training_set(replace(cfg, samples_per_class=10), rng=999)
+        assert accuracy(tiny_network.predict_proba(x), y) > 3 / 43
+
+
+class TestLoadOrPretrain:
+    def test_cache_roundtrip(self, tmp_path):
+        first = load_or_pretrain(TINY, cache_dir=tmp_path)
+        files = list(tmp_path.glob("generic-*.npz"))
+        assert len(files) == 1
+        second = load_or_pretrain(TINY, cache_dir=tmp_path)
+        x = np.zeros((2, 11), dtype=np.float32)
+        np.testing.assert_array_equal(first.predict_logits(x), second.predict_logits(x))
+
+    def test_different_config_different_file(self, tmp_path):
+        load_or_pretrain(TINY, cache_dir=tmp_path)
+        other = PretrainConfig(
+            network=TINY.network, samples_per_class=6, epochs=1, seed=1
+        )
+        load_or_pretrain(other, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("generic-*.npz"))) == 2
+
+    def test_env_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+
+
+class TestPretrainingSetConfig:
+    def test_follows_paper_randomization(self):
+        cfg = pretraining_set_config(PretrainConfig())
+        assert cfg.parameter_value_sets is None  # fully random sequences
+        assert cfg.repetitions == 5
+        assert not cfg.fixed_repetitions  # "up to five" repetitions

@@ -1,0 +1,73 @@
+from fractions import Fraction
+
+import pytest
+
+from repro.evaluation.accuracy import (
+    ACCURACY_BUCKETS,
+    bucket_fractions,
+    lead_exponent_distance,
+)
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.terms import ExponentPair
+
+F = Fraction
+
+
+def single(i, j=0):
+    return PerformanceFunction.single_term(1.0, 1.0, [ExponentPair(i, j)])
+
+
+class TestLeadExponentDistance:
+    def test_identical_zero(self):
+        assert lead_exponent_distance(single(F(3, 2)), single(F(3, 2))) == 0.0
+
+    def test_polynomial_difference(self):
+        assert lead_exponent_distance(single(1), single(F(3, 4))) == pytest.approx(0.25)
+
+    def test_log_free_by_default(self):
+        assert lead_exponent_distance(single(1, 2), single(1, 0)) == 0.0
+
+    def test_log_weight_configurable(self):
+        d = lead_exponent_distance(single(1, 2), single(1, 0), log_weight=0.25)
+        assert d == pytest.approx(0.5)
+
+    def test_constant_vs_growth(self):
+        assert lead_exponent_distance(single(0, 0), single(2)) == pytest.approx(2.0)
+
+    def test_max_over_parameters(self):
+        model = PerformanceFunction.additive(
+            0.0, [1.0, 1.0], [ExponentPair(1, 0), ExponentPair(F(1, 2), 0)]
+        )
+        truth = PerformanceFunction.additive(
+            0.0, [1.0, 1.0], [ExponentPair(1, 0), ExponentPair(F(5, 2), 0)]
+        )
+        assert lead_exponent_distance(model, truth) == pytest.approx(2.0)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            lead_exponent_distance(single(1), PerformanceFunction.constant_function(1.0, 2))
+
+
+class TestBucketFractions:
+    def test_cumulative(self):
+        distances = [0.0, 0.2, 0.3, 0.45, 1.0]
+        fractions = bucket_fractions(distances)
+        assert fractions[1 / 4] <= fractions[1 / 3] <= fractions[1 / 2]
+        assert fractions[1 / 4] == pytest.approx(2 / 5)
+        assert fractions[1 / 2] == pytest.approx(4 / 5)
+
+    def test_boundary_inclusive(self):
+        fractions = bucket_fractions([0.25, 1 / 3, 0.5])
+        assert fractions[1 / 4] == pytest.approx(1 / 3)
+        assert fractions[1 / 2] == pytest.approx(1.0)
+
+    def test_paper_buckets(self):
+        assert ACCURACY_BUCKETS == (1 / 4, 1 / 3, 1 / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_fractions([])
+
+    def test_infinite_distance_never_correct(self):
+        fractions = bucket_fractions([float("inf")])
+        assert fractions[1 / 2] == 0.0

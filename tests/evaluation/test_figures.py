@@ -1,0 +1,39 @@
+import pytest
+
+from repro.evaluation.figures import format_accuracy_table, format_power_table
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.regression.modeler import RegressionModeler
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    config = SweepConfig(n_params=1, noise_levels=(0.02, 0.5), n_functions=8)
+    return run_sweep(config, {"regression": RegressionModeler()}, rng=0)
+
+
+class TestFormatAccuracyTable:
+    def test_contains_noise_rows_and_buckets(self, sweep_result):
+        table = format_accuracy_table(sweep_result, title="Fig 3(a)")
+        assert "Fig 3(a)" in table
+        assert "d<=1/4" in table and "d<=1/2" in table
+        lines = table.splitlines()
+        assert lines[-1].startswith("50") and lines[-2].startswith("2")
+
+    def test_percentages_in_range(self, sweep_result):
+        table = format_accuracy_table(sweep_result)
+        for row in table.splitlines()[2:]:
+            for cell in row.split("|")[1:]:
+                assert 0.0 <= float(cell) <= 100.0
+
+
+class TestFormatPowerTable:
+    def test_contains_eval_points(self, sweep_result):
+        table = format_power_table(sweep_result)
+        for k in range(1, 5):
+            assert f"P+{k}" in table
+
+    def test_errors_non_negative(self, sweep_result):
+        table = format_power_table(sweep_result)
+        for row in table.splitlines()[2:]:
+            for cell in row.split("|")[1:]:
+                assert float(cell) >= 0.0

@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.evaluation.predictive_power import median_errors, relative_prediction_errors
+from repro.experiment.measurement import Coordinate
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.terms import ExponentPair
+
+LINEAR = PerformanceFunction.single_term(0.0, 1.0, [ExponentPair(1, 0)])
+DOUBLE = PerformanceFunction.single_term(0.0, 2.0, [ExponentPair(1, 0)])
+POINTS = [Coordinate(10.0), Coordinate(20.0)]
+
+
+class TestRelativePredictionErrors:
+    def test_perfect_model_zero_error(self):
+        np.testing.assert_allclose(relative_prediction_errors(LINEAR, LINEAR, POINTS), 0.0)
+
+    def test_double_is_hundred_percent(self):
+        np.testing.assert_allclose(
+            relative_prediction_errors(DOUBLE, LINEAR, POINTS), [100.0, 100.0]
+        )
+
+    def test_reference_values_accepted(self):
+        errors = relative_prediction_errors(LINEAR, [20.0, 20.0], POINTS)
+        np.testing.assert_allclose(errors, [50.0, 0.0])
+
+    def test_no_points_rejected(self):
+        with pytest.raises(ValueError):
+            relative_prediction_errors(LINEAR, LINEAR, [])
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_prediction_errors(LINEAR, [0.0, 1.0], POINTS)
+
+    def test_reference_length_checked(self):
+        with pytest.raises(ValueError):
+            relative_prediction_errors(LINEAR, [1.0], POINTS)
+
+
+class TestMedianErrors:
+    def test_per_point_median(self):
+        matrix = np.array([[1.0, 10.0], [3.0, 30.0], [2.0, 20.0]])
+        np.testing.assert_allclose(median_errors(matrix), [2.0, 20.0])
+
+    def test_nan_rows_ignored(self):
+        matrix = np.array([[1.0, 10.0], [np.nan, np.nan], [3.0, 30.0]])
+        np.testing.assert_allclose(median_errors(matrix), [2.0, 20.0])
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            median_errors(np.zeros(4))

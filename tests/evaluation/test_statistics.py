@@ -1,0 +1,121 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.statistics import (
+    bootstrap_ci,
+    format_interval,
+    fraction_ci,
+    median_ci,
+)
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean_for_normal_data(self):
+        gen = np.random.default_rng(0)
+        misses = 0
+        for trial in range(30):
+            data = gen.normal(5.0, 1.0, 200)
+            lo, hi = bootstrap_ci(data, np.mean, confidence=0.99, rng=trial)
+            if not lo <= 5.0 <= hi:
+                misses += 1
+        assert misses <= 2  # 99 % coverage allows rare misses
+
+    def test_interval_ordering(self):
+        data = np.random.default_rng(1).exponential(2.0, 100)
+        lo, hi = bootstrap_ci(data, np.mean, rng=0)
+        assert lo <= float(np.mean(data)) <= hi
+
+    def test_width_shrinks_with_sample_size(self):
+        gen = np.random.default_rng(2)
+        small = gen.normal(0, 1, 30)
+        large = gen.normal(0, 1, 3000)
+        lo_s, hi_s = bootstrap_ci(small, np.mean, rng=0)
+        lo_l, hi_l = bootstrap_ci(large, np.mean, rng=0)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_higher_confidence_wider(self):
+        data = np.random.default_rng(3).normal(0, 1, 100)
+        lo90, hi90 = bootstrap_ci(data, np.mean, confidence=0.90, rng=0)
+        lo99, hi99 = bootstrap_ci(data, np.mean, confidence=0.99, rng=0)
+        assert (hi99 - lo99) >= (hi90 - lo90)
+
+    def test_deterministic_with_seed(self):
+        data = np.arange(50, dtype=float)
+        assert bootstrap_ci(data, rng=7) == bootstrap_ci(data, rng=7)
+
+    def test_non_finite_excluded(self):
+        data = np.array([1.0, 2.0, 3.0, np.inf, np.nan] * 10)
+        lo, hi = bootstrap_ci(data, np.mean, rng=0)
+        assert 1.0 <= lo <= hi <= 3.0
+
+    def test_custom_statistic(self):
+        data = np.random.default_rng(4).normal(0, 1, 80)
+        lo, hi = bootstrap_ci(data, lambda a: float(np.percentile(a, 90)), rng=0)
+        assert lo < hi
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"confidence": 0.4}, {"confidence": 1.0}, {"n_resamples": 5}]
+    )
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(10), **kwargs)
+
+    def test_all_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([np.nan, np.inf]))
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_interval_inside_data_range_for_mean(self, seed):
+        data = np.random.default_rng(seed).uniform(2.0, 8.0, 60)
+        lo, hi = bootstrap_ci(data, np.mean, rng=seed)
+        assert 2.0 <= lo <= hi <= 8.0
+
+
+class TestFractionAndMedianCi:
+    def test_fraction_ci_bounds(self):
+        successes = np.array([True] * 70 + [False] * 30)
+        lo, hi = fraction_ci(successes, rng=0)
+        assert 0.5 < lo <= 0.7 <= hi < 0.9
+
+    def test_degenerate_fraction(self):
+        lo, hi = fraction_ci(np.ones(50, dtype=bool), rng=0)
+        assert lo == hi == 1.0
+
+    def test_median_ci_contains_median(self):
+        data = np.random.default_rng(5).lognormal(1.0, 0.5, 200)
+        lo, hi = median_ci(data, rng=0)
+        assert lo <= float(np.median(data)) <= hi
+
+
+class TestFormatInterval:
+    def test_rendering(self):
+        text = format_interval(61.0, (58.0, 63.5), unit="%")
+        assert text == "61.00% ±3.00"
+
+
+class TestCellResultIntegration:
+    def test_sweep_cells_expose_cis(self):
+        from repro.evaluation.sweep import SweepConfig, run_sweep
+        from repro.regression.modeler import RegressionModeler
+
+        config = SweepConfig(n_params=1, noise_levels=(0.1,), n_functions=25)
+        result = run_sweep(config, {"regression": RegressionModeler()}, rng=0)
+        cell = result.cell(0.1, "regression")
+        lo, hi = cell.bucket_fraction_ci(0.25)
+        point = cell.bucket_fractions()[0.25]
+        assert lo <= point <= hi
+        lo_e, hi_e = cell.median_error_ci(3)
+        assert lo_e <= float(cell.median_errors()[3]) <= hi_e
+
+    def test_table_with_ci(self):
+        from repro.evaluation.figures import format_accuracy_table, format_power_table
+        from repro.evaluation.sweep import SweepConfig, run_sweep
+        from repro.regression.modeler import RegressionModeler
+
+        config = SweepConfig(n_params=1, noise_levels=(0.1,), n_functions=10)
+        result = run_sweep(config, {"regression": RegressionModeler()}, rng=0)
+        assert "±" in format_accuracy_table(result, include_ci=True)
+        assert "±" in format_power_table(result, include_ci=True)

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.evaluation.sweep import (
+    PAPER_NOISE_LEVELS,
+    CellResult,
+    SweepConfig,
+    default_eval_functions,
+    run_sweep,
+)
+from repro.regression.modeler import RegressionModeler
+
+
+class TestSweepConfig:
+    def test_paper_noise_levels(self):
+        assert PAPER_NOISE_LEVELS == (0.02, 0.05, 0.10, 0.20, 0.50, 0.75, 1.00)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_FUNCTIONS", "17")
+        assert default_eval_functions() == 17
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_params": 0}, {"n_functions": 0}, {"points_per_parameter": 4}]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    config = SweepConfig(n_params=1, noise_levels=(0.02, 0.5), n_functions=20)
+    return config, run_sweep(config, {"regression": RegressionModeler()}, rng=0)
+
+
+class TestRunSweep:
+    def test_cells_complete(self, small_sweep):
+        config, result = small_sweep
+        assert set(result.cells) == {(0.02, "regression"), (0.5, "regression")}
+        cell = result.cell(0.02, "regression")
+        assert isinstance(cell, CellResult)
+        assert cell.distances.shape == (20,)
+        assert cell.errors.shape == (20, 4)
+
+    def test_low_noise_more_accurate_than_high(self, small_sweep):
+        _, result = small_sweep
+        low = result.cell(0.02, "regression").bucket_fractions()[1 / 4]
+        high = result.cell(0.5, "regression").bucket_fractions()[1 / 4]
+        assert low > high
+
+    def test_accuracy_series_order(self, small_sweep):
+        _, result = small_sweep
+        series = result.accuracy_series("regression", 1 / 4)
+        assert len(series) == 2
+        assert series[0] > series[1]
+
+    def test_power_series(self, small_sweep):
+        _, result = small_sweep
+        series = result.power_series("regression", 3)
+        assert len(series) == 2
+        assert all(np.isfinite(series))
+
+    def test_deterministic(self):
+        config = SweepConfig(n_params=1, noise_levels=(0.2,), n_functions=5)
+        a = run_sweep(config, {"regression": RegressionModeler()}, rng=3)
+        b = run_sweep(config, {"regression": RegressionModeler()}, rng=3)
+        np.testing.assert_array_equal(
+            a.cell(0.2, "regression").distances, b.cell(0.2, "regression").distances
+        )
+
+    def test_paired_comparison_same_campaign(self, tiny_network):
+        """Both modelers must see the identical noisy measurements."""
+        from repro.dnn.modeler import DNNModeler
+
+        config = SweepConfig(n_params=1, noise_levels=(0.0,), n_functions=5)
+        modelers = {
+            "a": RegressionModeler(),
+            "b": DNNModeler(network=tiny_network, use_domain_adaptation=False),
+        }
+        result = run_sweep(config, modelers, rng=1)
+        # At zero noise regression recovers near-exactly, so its errors are ~0;
+        # the DNN's may differ but both were evaluated on the same truths.
+        assert result.cell(0.0, "a").errors.shape == result.cell(0.0, "b").errors.shape
+
+    def test_failures_counted_not_hidden(self):
+        class Exploding:
+            def model_kernel(self, kernel, n_params, rng=None):
+                raise RuntimeError("boom")
+
+        config = SweepConfig(n_params=1, noise_levels=(0.1,), n_functions=3)
+        result = run_sweep(config, {"bad": Exploding()}, rng=0)
+        cell = result.cell(0.1, "bad")
+        assert cell.failures == 3
+        assert np.all(np.isinf(cell.distances))
+        assert cell.bucket_fractions()[1 / 2] == 0.0
+
+    def test_empty_modelers_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(SweepConfig(), {}, rng=0)
+
+    def test_two_parameter_sweep_runs(self):
+        config = SweepConfig(n_params=2, noise_levels=(0.1,), n_functions=3)
+        result = run_sweep(config, {"regression": RegressionModeler()}, rng=0)
+        assert result.cell(0.1, "regression").distances.shape == (3,)

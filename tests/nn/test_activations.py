@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+
+
+def check_gradient(layer, x, eps=1e-6):
+    """Numeric vs analytic gradient of sum(layer(x))."""
+    layer.forward(x, training=True)
+    analytic = layer.backward(np.ones_like(x))
+    numeric = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = float(np.sum(layer.forward(x)))
+        x[idx] = orig - eps
+        minus = float(np.sum(layer.forward(x)))
+        x[idx] = orig
+        numeric[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+
+X = np.random.default_rng(0).normal(size=(4, 5)) * 2.0
+
+
+class TestForwardValues:
+    def test_tanh(self):
+        np.testing.assert_allclose(Tanh().forward(X), np.tanh(X))
+
+    def test_relu(self):
+        np.testing.assert_allclose(ReLU().forward(X), np.maximum(X, 0))
+
+    def test_leaky_relu(self):
+        out = LeakyReLU(0.1).forward(X)
+        np.testing.assert_allclose(out, np.where(X > 0, X, 0.1 * X))
+
+    def test_sigmoid_range(self):
+        out = Sigmoid().forward(X * 10)
+        assert np.all((out > 0) & (out < 1))
+
+
+class TestGradients:
+    @pytest.mark.parametrize("layer", [Tanh(), Sigmoid(), LeakyReLU(0.05)])
+    def test_smooth_activations(self, layer):
+        check_gradient(layer, X.copy())
+
+    def test_relu_gradient_off_kink(self):
+        x = X.copy()
+        x[np.abs(x) < 0.1] = 0.5  # avoid the kink where numeric diff is invalid
+        check_gradient(ReLU(), x)
+
+    def test_backward_requires_training_forward(self):
+        t = Tanh()
+        t.forward(X, training=False)
+        with pytest.raises(RuntimeError):
+            t.backward(np.ones_like(X))
+
+
+class TestValidation:
+    def test_leaky_relu_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+    def test_stateless_params(self):
+        assert Tanh().params == {}

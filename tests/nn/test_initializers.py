@@ -1,0 +1,40 @@
+import numpy as np
+import pytest
+
+from repro.nn.initializers import glorot_normal, glorot_uniform, he_uniform, zeros
+
+
+class TestGlorotUniform:
+    def test_bounds(self):
+        w = glorot_uniform(100, 50, rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+        assert np.max(np.abs(w)) > limit * 0.9  # actually fills the range
+
+    def test_shape_and_dtype(self):
+        w = glorot_uniform(3, 4, rng=0)
+        assert w.shape == (3, 4)
+        assert w.dtype == np.float32
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(glorot_uniform(5, 5, rng=1), glorot_uniform(5, 5, rng=1))
+
+
+class TestGlorotNormal:
+    def test_std(self):
+        w = glorot_normal(200, 200, rng=0)
+        assert np.std(w) == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+
+class TestHeUniform:
+    def test_bounds(self):
+        w = he_uniform(50, 10, rng=0)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 50))
+
+
+class TestZeros:
+    def test_zeros(self):
+        w = zeros(4, dtype=np.float64)
+        assert w.shape == (4,)
+        assert w.dtype == np.float64
+        assert np.all(w == 0)

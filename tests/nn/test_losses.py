@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_stability_with_huge_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0, 0.0]]))
+        assert np.all(np.isfinite(probs))
+        np.testing.assert_allclose(probs[0, :2], 0.5, rtol=1e-6)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = SoftmaxCrossEntropy().value(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((3, 43))
+        loss = SoftmaxCrossEntropy().value(logits, np.array([0, 21, 42]))
+        assert loss == pytest.approx(np.log(43))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 1])
+        loss = SoftmaxCrossEntropy()
+        analytic = loss.gradient(logits, labels)
+        numeric = np.zeros_like(logits)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(5):
+                logits[i, j] += eps
+                plus = loss.value(logits, labels)
+                logits[i, j] -= 2 * eps
+                minus = loss.value(logits, labels)
+                logits[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.value(np.zeros(3), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            loss.value(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+class TestMeanSquaredError:
+    def test_value(self):
+        mse = MeanSquaredError()
+        assert mse.value(np.array([1.0, 3.0]), np.array([1.0, 1.0])) == pytest.approx(2.0)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        out = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        mse = MeanSquaredError()
+        analytic = mse.gradient(out, target)
+        eps = 1e-6
+        numeric = np.zeros_like(out)
+        for idx in np.ndindex(out.shape):
+            out[idx] += eps
+            plus = mse.value(out, target)
+            out[idx] -= 2 * eps
+            minus = mse.value(out, target)
+            out[idx] += eps
+            numeric[idx] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().value(np.zeros(3), np.zeros(4))

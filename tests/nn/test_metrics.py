@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, top_k_accuracy, top_k_classes
+
+
+class TestAccuracy:
+    def test_from_probabilities(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(probs, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_from_labels(self):
+        assert accuracy(np.array([1, 1, 0]), np.array([1, 0, 0])) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+class TestTopK:
+    PROBS = np.array(
+        [
+            [0.5, 0.3, 0.1, 0.1],
+            [0.1, 0.2, 0.3, 0.4],
+            [0.3, 0.26, 0.24, 0.2],
+        ]
+    )
+
+    def test_top1_equals_accuracy(self):
+        labels = np.array([0, 3, 2])
+        assert top_k_accuracy(self.PROBS, labels, 1) == accuracy(self.PROBS, labels)
+
+    def test_top2_includes_runner_up(self):
+        labels = np.array([1, 2, 0])
+        assert top_k_accuracy(self.PROBS, labels, 2) == 1.0
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(self.PROBS, np.zeros(3, dtype=int), 0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(self.PROBS, np.zeros(3, dtype=int), 5)
+
+
+class TestTopKClasses:
+    def test_ordered_most_probable_first(self):
+        probs = np.array([[0.1, 0.5, 0.4]])
+        np.testing.assert_array_equal(top_k_classes(probs, 3)[0], [1, 2, 0])
+
+    def test_single_row_input(self):
+        out = top_k_classes(np.array([0.2, 0.7, 0.1]), 2)
+        np.testing.assert_array_equal(out, [[1, 0]])
+
+    def test_shape(self):
+        probs = np.random.default_rng(0).random((6, 43))
+        assert top_k_classes(probs, 3).shape == (6, 3)

@@ -1,0 +1,63 @@
+import io
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.nn.regularization import Dropout
+
+X = np.ones((64, 32), dtype=np.float64)
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        out = Dropout(0.5, rng=0).forward(X, training=False)
+        np.testing.assert_array_equal(out, X)
+
+    def test_training_zeroes_roughly_rate_fraction(self):
+        out = Dropout(0.5, rng=0).forward(X, training=True)
+        zero_fraction = np.mean(out == 0)
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_inverted_scaling_keeps_expectation(self):
+        out = Dropout(0.25, rng=0).forward(X, training=True)
+        assert np.mean(out) == pytest.approx(1.0, rel=0.1)
+
+    def test_surviving_units_scaled_up(self):
+        out = Dropout(0.5, rng=0).forward(X, training=True)
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 2.0)
+
+    def test_backward_masks_gradient(self):
+        layer = Dropout(0.5, rng=0)
+        out = layer.forward(X, training=True)
+        grad = layer.backward(np.ones_like(X))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_zero_rate_noop(self):
+        out = Dropout(0.0).forward(X, training=True)
+        np.testing.assert_array_equal(out, X)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_backward_requires_training_forward(self):
+        layer = Dropout(0.5)
+        layer.forward(X, training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones_like(X))
+
+    def test_checkpoint_roundtrip(self):
+        net = Sequential([Dense(4, 8, rng=0), Dropout(0.3), Dense(8, 2, rng=1)])
+        buf = io.BytesIO()
+        net.save(buf)
+        buf.seek(0)
+        loaded = Sequential.load(buf)
+        assert isinstance(loaded.layers[1], Dropout)
+        assert loaded.layers[1].rate == 0.3
+        x = np.zeros((2, 4), dtype=np.float32)
+        np.testing.assert_allclose(net.predict_logits(x), loaded.predict_logits(x))

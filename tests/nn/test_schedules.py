@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.nn.activations import Tanh
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, AdaMax
+from repro.nn.schedules import ConstantSchedule, CosineDecay, StepDecay
+
+
+class TestConstantSchedule:
+    def test_rate_fixed(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule.rate_for_epoch(0) == schedule.rate_for_epoch(99) == 0.01
+
+
+class TestStepDecay:
+    def test_halves_every_step(self):
+        schedule = StepDecay(0.1, factor=0.5, step=2)
+        assert schedule.rate_for_epoch(0) == pytest.approx(0.1)
+        assert schedule.rate_for_epoch(1) == pytest.approx(0.1)
+        assert schedule.rate_for_epoch(2) == pytest.approx(0.05)
+        assert schedule.rate_for_epoch(4) == pytest.approx(0.025)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepDecay(0.1, factor=0.0)
+        with pytest.raises(ValueError):
+            StepDecay(0.1, step=0)
+        with pytest.raises(ValueError):
+            StepDecay(0.0)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        schedule = CosineDecay(0.1, epochs=10, min_rate=0.01)
+        assert schedule.rate_for_epoch(0) == pytest.approx(0.1)
+        assert schedule.rate_for_epoch(10) == pytest.approx(0.01)
+
+    def test_monotone_decay(self):
+        schedule = CosineDecay(0.1, epochs=8)
+        rates = [schedule.rate_for_epoch(e) for e in range(9)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_past_horizon(self):
+        schedule = CosineDecay(0.1, epochs=5, min_rate=0.02)
+        assert schedule.rate_for_epoch(50) == pytest.approx(0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CosineDecay(0.1, epochs=0)
+        with pytest.raises(ValueError):
+            CosineDecay(0.1, epochs=5, min_rate=0.5)
+
+
+def _toy():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(300, 6)).astype(np.float32)
+    y = (x[:, 0] > 0).astype(int)
+    net = Sequential([Dense(6, 16, rng=rng), Tanh(), Dense(16, 2, rng=rng)])
+    return net, x, y
+
+
+class TestFitIntegration:
+    def test_schedule_applied_to_optimizer(self):
+        net, x, y = _toy()
+        optimizer = SGD(0.1)
+        net.fit(x, y, epochs=4, optimizer=optimizer, schedule=StepDecay(0.1, 0.5, 1), rng=0)
+        assert optimizer.learning_rate == pytest.approx(0.1 * 0.5**3)
+
+    def test_early_stopping_halts_and_restores_best(self):
+        net, x, y = _toy()
+        history = net.fit(
+            x[:200],
+            y[:200],
+            epochs=100,
+            optimizer=AdaMax(0.05),
+            validation=(x[200:], y[200:]),
+            early_stopping_patience=3,
+            rng=0,
+        )
+        assert history.epochs < 100
+        best_epoch = int(np.argmin(history.val_loss))
+        # Weights were restored to the best epoch: evaluating again gives
+        # (approximately) the recorded best validation loss.
+        from repro.nn.losses import SoftmaxCrossEntropy
+
+        val = SoftmaxCrossEntropy().value(net.predict_logits(x[200:]), y[200:])
+        assert val == pytest.approx(history.val_loss[best_epoch], rel=1e-5)
+
+    def test_early_stopping_requires_validation(self):
+        net, x, y = _toy()
+        with pytest.raises(ValueError):
+            net.fit(x, y, epochs=2, early_stopping_patience=2)
+
+    def test_dropout_network_trains(self):
+        from repro.nn.regularization import Dropout
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 6)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(int)
+        net = Sequential(
+            [Dense(6, 32, rng=rng), Tanh(), Dropout(0.2, rng=0), Dense(32, 2, rng=rng)]
+        )
+        history = net.fit(x, y, epochs=15, rng=0)
+        assert history.accuracy[-1] > 0.8

@@ -1,0 +1,46 @@
+import pytest
+
+from repro.noise.classification import (
+    DEFAULT_THRESHOLDS,
+    NoiseClass,
+    classify_noise,
+    threshold_for,
+)
+
+
+class TestThresholdFor:
+    def test_known_parameter_counts(self):
+        for m, expected in DEFAULT_THRESHOLDS.items():
+            assert threshold_for(m) == expected
+
+    def test_beyond_table_uses_last(self):
+        assert threshold_for(7) == DEFAULT_THRESHOLDS[max(DEFAULT_THRESHOLDS)]
+
+    def test_custom_table(self):
+        assert threshold_for(2, {1: 0.1, 2: 0.9}) == 0.9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            threshold_for(0)
+        with pytest.raises(ValueError):
+            threshold_for(1, {})
+
+
+class TestClassifyNoise:
+    def test_calm_below_threshold(self):
+        assert classify_noise(0.01, 1) is NoiseClass.CALM
+
+    def test_noisy_above_threshold(self):
+        assert classify_noise(0.9, 1) is NoiseClass.NOISY
+
+    def test_boundary_is_calm(self):
+        limit = threshold_for(1)
+        assert classify_noise(limit, 1) is NoiseClass.CALM
+
+    def test_thresholds_decrease_with_parameters(self):
+        """More parameters -> noise hurts regression earlier (Fig. 3)."""
+        assert threshold_for(1) >= threshold_for(2) >= threshold_for(3)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            classify_noise(-0.1)

@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiment.experiment import Experiment, Kernel
+from repro.experiment.measurement import Coordinate, Measurement
+from repro.noise.estimation import (
+    estimate_noise_level,
+    estimate_noise_level_corrected,
+    noise_levels_per_point,
+    pooled_relative_deviations,
+    repetition_bias_factor,
+    summarize_noise,
+)
+from repro.noise.injection import UniformNoise
+
+
+def noisy_kernel(level: float, n_points: int = 30, reps: int = 5, seed: int = 0) -> Kernel:
+    gen = np.random.default_rng(seed)
+    noise = UniformNoise(level)
+    k = Kernel("k")
+    for i in range(n_points):
+        true = 10.0 + i
+        k.add(Measurement(Coordinate(float(i + 2)), noise.apply(np.full(reps, true), gen)))
+    return k
+
+
+class TestEstimateNoiseLevel:
+    def test_zero_noise(self):
+        assert estimate_noise_level(noisy_kernel(0.0)) == 0.0
+
+    @pytest.mark.parametrize("level", [0.1, 0.5, 1.0])
+    def test_recovers_injected_level(self, level):
+        """The pooled rrd estimate tracks the true level. With many points
+        it systematically overshoots by ~20 % (per-point mean-centering lets
+        deviations exceed n/2); the bias-corrected variant lands closer."""
+        kern = noisy_kernel(level, n_points=60)
+        raw = estimate_noise_level(kern)
+        assert raw == pytest.approx(level, rel=0.35)
+        corrected = estimate_noise_level_corrected(kern)
+        assert corrected == pytest.approx(level, rel=0.15)
+
+    def test_underestimates_with_single_point(self):
+        # With one point and few repetitions the range cannot be covered.
+        estimate = estimate_noise_level(noisy_kernel(0.5, n_points=1, reps=3))
+        assert estimate < 0.5
+
+    def test_accepts_experiment(self):
+        exp = Experiment(["p"])
+        kern = exp.create_kernel("k")
+        for m in noisy_kernel(0.2).measurements:
+            kern.add(m)
+        assert estimate_noise_level(exp) == estimate_noise_level(kern)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_noise_level([])
+
+    @given(
+        level=st.floats(min_value=0.05, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_estimate_stays_in_calibrated_band(self, level, seed):
+        """The raw estimate stays within the band the bias analysis predicts
+        for 40 points x 5 repetitions (factor ~1.2, spread a few percent)."""
+        estimate = estimate_noise_level(noisy_kernel(level, n_points=40, seed=seed))
+        assert estimate <= level * 1.45
+        assert estimate >= level * 0.75
+
+
+class TestPerPointLevels:
+    def test_one_level_per_point(self):
+        levels = noise_levels_per_point(noisy_kernel(0.3, n_points=25))
+        assert levels.shape == (25,)
+        assert np.all(levels >= 0)
+
+    def test_per_point_underestimates_pooled(self):
+        kern = noisy_kernel(0.5, n_points=50)
+        assert np.mean(noise_levels_per_point(kern)) < estimate_noise_level(kern)
+
+
+class TestSummarize:
+    def test_summary_consistency(self):
+        summary = summarize_noise(noisy_kernel(0.4, n_points=40))
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.n_points == 40
+        assert summary.pooled >= summary.maximum - 1e-12  # pooling widens
+        assert "n̄=" in summary.format()
+
+
+class TestBiasCorrection:
+    def test_factor_monotone_in_repetitions(self):
+        factors = [repetition_bias_factor(r) for r in (2, 3, 5, 10)]
+        assert factors == sorted(factors)
+        assert repetition_bias_factor(1) == 0.0
+
+    def test_single_point_five_reps_covers_two_thirds(self):
+        assert repetition_bias_factor(5, 1) == pytest.approx(2 / 3, rel=0.05)
+
+    def test_many_points_overshoot(self):
+        assert repetition_bias_factor(5, 100) > 1.0
+
+    def test_corrected_estimate_closer_on_few_points(self):
+        # Single point, 5 reps: raw rrd underestimates ~ (rep-1)/(rep+1).
+        raw_errors, corrected_errors = [], []
+        for seed in range(30):
+            kern = noisy_kernel(0.6, n_points=1, reps=5, seed=seed)
+            raw_errors.append(abs(estimate_noise_level(kern) - 0.6))
+            corrected_errors.append(abs(estimate_noise_level_corrected(kern) - 0.6))
+        assert np.mean(corrected_errors) < np.mean(raw_errors)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            repetition_bias_factor(0)
+
+
+class TestPooledDeviations:
+    def test_pooled_size(self):
+        kern = noisy_kernel(0.2, n_points=10, reps=5)
+        assert pooled_relative_deviations(kern).size == 50

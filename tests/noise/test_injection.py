@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.injection import (
+    GammaLevelNoise,
+    GaussianNoise,
+    LognormalSpikeNoise,
+    NoNoise,
+    UniformLevelRangeNoise,
+    UniformNoise,
+)
+
+VALUES = np.full(2000, 10.0)
+
+
+class TestNoNoise:
+    def test_identity_copy(self):
+        out = NoNoise().apply(VALUES)
+        np.testing.assert_array_equal(out, VALUES)
+        assert out is not VALUES
+
+    def test_nominal_level(self):
+        assert NoNoise().nominal_level() == 0.0
+
+
+class TestUniformNoise:
+    def test_bounds_follow_paper_semantics(self):
+        """Level n = 10 % means at most +-5 % deviation (Sec. IV-D)."""
+        out = UniformNoise(0.10).apply(VALUES, rng=0)
+        dev = np.abs(out / VALUES - 1.0)
+        assert np.max(dev) <= 0.05 + 1e-12
+        assert np.max(dev) > 0.04  # actually spans the range
+
+    def test_zero_level_is_identity(self):
+        np.testing.assert_array_equal(UniformNoise(0.0).apply(VALUES, rng=0), VALUES)
+
+    def test_deterministic_with_seed(self):
+        a = UniformNoise(0.5).apply(VALUES, rng=3)
+        b = UniformNoise(0.5).apply(VALUES, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_preserved_approximately(self):
+        out = UniformNoise(1.0).apply(VALUES, rng=0)
+        assert np.mean(out) == pytest.approx(10.0, rel=0.05)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            UniformNoise(-0.1)
+
+    def test_input_not_modified(self):
+        values = np.full(5, 3.0)
+        UniformNoise(1.0).apply(values, rng=0)
+        np.testing.assert_array_equal(values, 3.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_outputs_for_levels_up_to_100pct(self, level, seed):
+        """Runtimes stay positive for every level the paper sweeps."""
+        out = UniformNoise(level).apply(np.full(64, 1e-3), rng=seed)
+        assert np.all(out > 0)
+
+
+class TestGaussianNoise:
+    def test_spread_matches_level(self):
+        out = GaussianNoise(0.4).apply(VALUES, rng=0)
+        assert np.std(out / VALUES - 1.0) == pytest.approx(0.1, rel=0.1)
+
+
+class TestUniformLevelRangeNoise:
+    def test_level_varies_between_calls(self):
+        model = UniformLevelRangeNoise(0.0, 1.0)
+        gen = np.random.default_rng(0)
+        spans = [np.ptp(model.apply(VALUES, gen) / VALUES) for _ in range(20)]
+        assert np.ptp(spans) > 0.2  # some calls calm, some noisy
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UniformLevelRangeNoise(0.5, 0.1)
+
+    def test_nominal_is_midpoint(self):
+        assert UniformLevelRangeNoise(0.2, 0.4).nominal_level() == pytest.approx(0.3)
+
+
+class TestGammaLevelNoise:
+    def test_levels_clipped(self):
+        model = GammaLevelNoise(shape=2.0, scale=0.5, lo=0.1, hi=0.3)
+        gen = np.random.default_rng(0)
+        for _ in range(20):
+            span = np.ptp(model.apply(VALUES, gen) / VALUES)
+            assert span <= 0.3 + 1e-9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GammaLevelNoise(shape=0.0, scale=1.0)
+
+
+class TestLognormalSpikeNoise:
+    def test_spikes_only_slow_down(self):
+        base = LognormalSpikeNoise(level=0.0, spike_probability=1.0, spike_scale=0.5)
+        out = base.apply(VALUES, rng=0)
+        assert np.all(out >= VALUES - 1e-9)
+
+    def test_zero_probability_equals_base(self):
+        model = LognormalSpikeNoise(level=0.2, spike_probability=0.0)
+        out = model.apply(VALUES, rng=5)
+        base = UniformNoise(0.2).apply(VALUES, rng=5)
+        # Same rng consumption order for the uniform part.
+        np.testing.assert_allclose(out, base)
+
+    def test_tail_exceeds_uniform_bound(self):
+        model = LognormalSpikeNoise(level=0.2, spike_probability=0.3, spike_scale=0.5)
+        out = model.apply(VALUES, rng=0)
+        assert np.max(out / VALUES - 1.0) > 0.2

@@ -1,0 +1,110 @@
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pmnf.function import MultiTerm, PerformanceFunction
+from repro.pmnf.searchspace import EXPONENT_PAIRS
+from repro.pmnf.terms import CompoundTerm, ExponentPair
+
+F = Fraction
+
+
+class TestMultiTerm:
+    def test_constant_factors_dropped(self):
+        term = MultiTerm(2.0, {0: CompoundTerm(0, 0), 1: CompoundTerm(1, 0)})
+        assert list(term.factors) == [1]
+
+    def test_evaluate_product(self):
+        term = MultiTerm(3.0, {0: CompoundTerm(1), 1: CompoundTerm(2)})
+        pts = np.array([[2.0, 3.0], [4.0, 5.0]])
+        np.testing.assert_allclose(term.evaluate(pts), [3 * 2 * 9, 3 * 4 * 25])
+
+    def test_structure_key_ignores_coefficient(self):
+        a = MultiTerm(1.0, {0: CompoundTerm(1)})
+        b = MultiTerm(99.0, {0: CompoundTerm(1)})
+        assert a.structure_key() == b.structure_key()
+
+    def test_format(self):
+        term = MultiTerm(2.5, {0: CompoundTerm(1, 1)})
+        assert term.format(["p"]) == "2.5 * p * log2(p)"
+
+
+class TestPerformanceFunction:
+    def test_single_point_returns_scalar(self):
+        f = PerformanceFunction.single_term(1.0, 2.0, [ExponentPair(1, 0)])
+        assert f.evaluate(np.array([3.0])) == pytest.approx(7.0)
+
+    def test_batch_evaluation(self):
+        f = PerformanceFunction.single_term(1.0, 1.0, [ExponentPair(2, 0)])
+        out = f.evaluate(np.array([[2.0], [3.0]]))
+        np.testing.assert_allclose(out, [5.0, 10.0])
+
+    def test_constant_function(self):
+        f = PerformanceFunction.constant_function(7.5, n_params=2)
+        assert f.evaluate(np.array([10.0, 10.0])) == 7.5
+        assert f.is_constant()
+
+    def test_additive_construction(self):
+        f = PerformanceFunction.additive(
+            1.0, [2.0, 3.0], [ExponentPair(1, 0), ExponentPair(0, 1)]
+        )
+        # 1 + 2*x1 + 3*log2(x2) at (2, 4)
+        assert f.evaluate(np.array([2.0, 4.0])) == pytest.approx(1 + 4 + 6)
+
+    def test_arity_checked(self):
+        f = PerformanceFunction.single_term(0.0, 1.0, [ExponentPair(1, 0)])
+        with pytest.raises(ValueError):
+            f.evaluate(np.array([1.0, 2.0]))
+
+    def test_term_outside_arity_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceFunction(0.0, [MultiTerm(1.0, {3: CompoundTerm(1)})], 2)
+
+    def test_lead_exponents_single(self):
+        f = PerformanceFunction.single_term(0.0, 1.0, [ExponentPair(F(3, 2), 1)])
+        assert f.lead_exponents() == (ExponentPair(F(3, 2), 1),)
+
+    def test_lead_exponents_picks_fastest_growth(self):
+        terms = [
+            MultiTerm(1.0, {0: CompoundTerm(1, 0)}),
+            MultiTerm(1.0, {0: CompoundTerm(2, 0)}),
+        ]
+        f = PerformanceFunction(0.0, terms, 1)
+        assert f.lead_exponents()[0].i == F(2)
+
+    def test_lead_exponents_absent_parameter_is_constant(self):
+        f = PerformanceFunction(1.0, [MultiTerm(1.0, {1: CompoundTerm(1)})], 2)
+        leads = f.lead_exponents()
+        assert leads[0].is_constant and leads[1].i == 1
+
+    def test_format_readable(self):
+        f = PerformanceFunction.single_term(8.51, 0.11, [
+            ExponentPair(F(1, 3), 0), ExponentPair(1, 0), ExponentPair(F(4, 5), 0),
+        ])
+        text = f.format(["p", "d", "g"])
+        assert text == "8.51 + 0.11 * p^(1/3) * d * g^(4/5)"
+
+    def test_structure_key_distinguishes(self):
+        a = PerformanceFunction.single_term(0, 1, [ExponentPair(1, 0)])
+        b = PerformanceFunction.single_term(0, 1, [ExponentPair(2, 0)])
+        assert a.structure_key() != b.structure_key()
+
+    @given(
+        st.sampled_from(EXPONENT_PAIRS),
+        st.floats(min_value=0.001, max_value=1000),
+        st.floats(min_value=0.001, max_value=1000),
+    )
+    def test_single_term_positive_on_domain(self, pair, c0, c1):
+        """Synthetic runtimes are positive everywhere the generator samples."""
+        f = PerformanceFunction.single_term(c0, c1, [pair])
+        xs = np.array([[2.0], [16.0], [1024.0]])
+        assert np.all(f.evaluate(xs) > 0)
+
+    @given(st.sampled_from(EXPONENT_PAIRS), st.sampled_from(EXPONENT_PAIRS))
+    def test_lead_exponent_matches_construction(self, p1, p2):
+        f = PerformanceFunction.additive(1.0, [1.0, 1.0], [p1, p2])
+        leads = f.lead_exponents()
+        assert leads == (p1, p2)

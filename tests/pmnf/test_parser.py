@@ -1,0 +1,107 @@
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.parser import PMNFParseError, parse_function
+from repro.pmnf.searchspace import EXPONENT_PAIRS
+from repro.pmnf.terms import ExponentPair
+from repro.synthesis.functions import random_multi_parameter_function
+
+F = Fraction
+
+
+class TestParseBasics:
+    def test_constant(self):
+        f = parse_function("42.5", n_params=1)
+        assert f.is_constant()
+        assert f.constant == 42.5
+
+    def test_single_term(self):
+        f = parse_function("5 + 2 * p^(3/2)", ["p"])
+        assert f.constant == 5.0
+        assert f.lead_exponents() == (ExponentPair(F(3, 2), 0),)
+        assert f.evaluate(np.array([4.0])) == pytest.approx(5 + 2 * 8)
+
+    def test_bare_parameter_is_linear(self):
+        f = parse_function("1 + 3 * n", ["n"])
+        assert f.lead_exponents()[0] == ExponentPair(1, 0)
+
+    def test_log_factor(self):
+        f = parse_function("0.5 + 2 * log2(p)^2", ["p"])
+        assert f.lead_exponents()[0] == ExponentPair(0, 2)
+        assert f.evaluate(np.array([4.0])) == pytest.approx(0.5 + 2 * 4)
+
+    def test_mixed_factor_merged(self):
+        f = parse_function("0 + 1 * p^(1/2) * log2(p)", ["p"])
+        assert f.lead_exponents()[0] == ExponentPair(F(1, 2), 1)
+
+    def test_paper_kripke_model(self):
+        f = parse_function("8.51 + 0.11 * p^(1/3) * d * g^(4/5)", ["p", "d", "g"])
+        assert f.n_params == 3
+        leads = f.lead_exponents()
+        assert [float(l.i) for l in leads] == pytest.approx([1 / 3, 1.0, 4 / 5])
+
+    def test_paper_relearn_model_negative_terms(self):
+        f = parse_function(
+            "-2216.41 + 325.71 * log2(p) + 0.01 * n * log2(n)^2", ["p", "n"]
+        )
+        assert f.constant == pytest.approx(-2216.41)
+        assert len(f.terms) == 2
+
+    def test_negative_coefficient_inline(self):
+        f = parse_function("4.9 + -0.75 * log2(p)", ["p"])
+        assert f.terms[0].coefficient == pytest.approx(-0.75)
+
+    def test_scientific_notation(self):
+        f = parse_function("1e+02 + 3.5e-05 * n", ["n"])
+        assert f.constant == 100.0
+
+    def test_default_names(self):
+        f = parse_function("1 + 2 * x1 + 3 * x2^2")
+        assert f.n_params == 2
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "1 + * p",
+            "1 + 2 * q",  # unknown name
+            "p + 1",  # term without coefficient
+            "1 + 2 * p^(1/",
+            "1 + 2",  # two constants
+            "1 + 2 * p^(a/b)",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(PMNFParseError):
+            parse_function(text, ["p"])
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "pair", [p for p in EXPONENT_PAIRS[::5] if not p.is_constant]
+    )
+    def test_single_parameter_roundtrip(self, pair):
+        f = PerformanceFunction.single_term(3.25, 0.75, [pair])
+        parsed = parse_function(f.format(["p"]), ["p"])
+        assert parsed.structure_key() == f.structure_key()
+        xs = np.array([[2.0], [64.0]])
+        np.testing.assert_allclose(parsed.evaluate(xs), f.evaluate(xs), rtol=1e-5)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000), m=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_random_function_roundtrip(self, seed, m):
+        """format() -> parse_function() preserves structure and values."""
+        f = random_multi_parameter_function(m, seed)
+        names = [f"x{l + 1}" for l in range(m)]
+        parsed = parse_function(f.format(names), names)
+        assert parsed.n_params == f.n_params
+        assert parsed.structure_key() == f.structure_key()
+        pts = np.full((3, m), 2.0) * np.array([[1.0], [8.0], [97.0]])
+        np.testing.assert_allclose(parsed.evaluate(pts), f.evaluate(pts), rtol=1e-4)

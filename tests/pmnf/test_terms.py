@@ -1,0 +1,89 @@
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pmnf.searchspace import EXPONENT_PAIRS
+from repro.pmnf.terms import CompoundTerm, ExponentPair
+
+F = Fraction
+
+
+class TestExponentPair:
+    def test_float_snaps_to_fraction(self):
+        pair = ExponentPair(1 / 3, 1)
+        assert pair.i == F(1, 3)
+
+    def test_constant_detection(self):
+        assert ExponentPair(0, 0).is_constant
+        assert not ExponentPair(0, 1).is_constant
+        assert not ExponentPair(F(1, 2), 0).is_constant
+
+    def test_distance_polynomial_only_by_default(self):
+        a = ExponentPair(F(1, 2), 2)
+        b = ExponentPair(F(1, 2), 0)
+        assert a.distance(b) == 0.0
+        assert a.distance(b, log_weight=0.25) == pytest.approx(0.5)
+
+    def test_distance_symmetric(self):
+        a, b = ExponentPair(F(3, 2), 1), ExponentPair(F(1, 4), 2)
+        assert a.distance(b, 0.3) == pytest.approx(b.distance(a, 0.3))
+
+    def test_growth_key_ordering(self):
+        assert ExponentPair(1, 0).growth_key() < ExponentPair(1, 1).growth_key()
+        assert ExponentPair(1, 2).growth_key() < ExponentPair(F(5, 4), 0).growth_key()
+
+    def test_hashable_and_equal(self):
+        assert ExponentPair(F(1, 2), 1) == ExponentPair(0.5, 1)
+        assert len({ExponentPair(1, 0), ExponentPair(1, 0)}) == 1
+
+    def test_string_exponent(self):
+        assert ExponentPair("2/3", 0).i == F(2, 3)
+
+
+class TestCompoundTerm:
+    def test_evaluate_power(self):
+        term = CompoundTerm(2)
+        np.testing.assert_allclose(term.evaluate(np.array([2.0, 3.0])), [4.0, 9.0])
+
+    def test_evaluate_log(self):
+        term = CompoundTerm(0, 2)
+        np.testing.assert_allclose(term.evaluate(np.array([4.0])), [4.0])  # log2(4)^2
+
+    def test_evaluate_mixed(self):
+        term = CompoundTerm(F(1, 2), 1)
+        np.testing.assert_allclose(term.evaluate(np.array([16.0])), [4.0 * 4.0])
+
+    def test_constant_term_evaluates_to_one(self):
+        np.testing.assert_allclose(CompoundTerm(0, 0).evaluate(np.array([7.0])), [1.0])
+
+    def test_nonpositive_input_raises(self):
+        with pytest.raises(ValueError):
+            CompoundTerm(1).evaluate(np.array([0.0]))
+        with pytest.raises(ValueError):
+            CompoundTerm(1).evaluate(np.array([-2.0]))
+
+    def test_format(self):
+        assert CompoundTerm(1, 0).format("p") == "p"
+        assert CompoundTerm(F(3, 2), 2).format("p") == "p^(3/2) * log2(p)^2"
+        assert CompoundTerm(0, 0).format("p") == "1"
+
+    def test_equality_and_hash(self):
+        assert CompoundTerm(F(1, 2), 1) == CompoundTerm(0.5, 1)
+        assert hash(CompoundTerm(1, 1)) == hash(CompoundTerm(1, 1))
+
+    @given(st.sampled_from(EXPONENT_PAIRS), st.floats(min_value=1.5, max_value=1e5))
+    def test_positive_on_positive_inputs(self, pair, x):
+        """PMNF factors are positive for x > 1 -- required by the synthetic
+        measurement generator (runtimes must stay positive)."""
+        value = CompoundTerm.from_pair(pair).evaluate(np.array([x]))
+        assert value[0] > 0
+
+    @given(st.sampled_from(EXPONENT_PAIRS))
+    def test_monotone_for_growing_pairs(self, pair):
+        """Every non-constant factor in E is nondecreasing for x >= 2."""
+        xs = np.array([2.0, 4.0, 8.0, 64.0, 1024.0])
+        values = CompoundTerm.from_pair(pair).evaluate(xs)
+        assert np.all(np.diff(values) >= -1e-12)

@@ -1,0 +1,39 @@
+import pytest
+
+from repro.experiment.experiment import Experiment
+from repro.regression.modeler import ModelResult, RegressionModeler
+
+
+class TestRegressionModeler:
+    def test_model_kernel(self, clean_experiment_1p):
+        result = RegressionModeler().model_kernel(clean_experiment_1p.only_kernel())
+        assert isinstance(result, ModelResult)
+        assert result.method == "regression"
+        assert result.kernel == "synthetic"
+        assert result.seconds > 0
+        assert float(result.function.lead_exponents()[0].i) == pytest.approx(1.5)
+
+    def test_n_params_inferred(self, clean_experiment_2p):
+        result = RegressionModeler().model_kernel(clean_experiment_2p.only_kernel())
+        assert result.function.n_params == 2
+
+    def test_model_experiment_all_kernels(self, clean_experiment_1p):
+        results = RegressionModeler().model_experiment(clean_experiment_1p)
+        assert set(results) == {"synthetic"}
+
+    def test_empty_kernel_rejected(self):
+        exp = Experiment(["p"])
+        kern = exp.create_kernel("empty")
+        with pytest.raises(ValueError, match="no measurements"):
+            RegressionModeler().model_kernel(kern)
+
+    def test_format(self, clean_experiment_1p):
+        result = RegressionModeler().model_kernel(clean_experiment_1p.only_kernel())
+        text = result.format(["p"])
+        assert "[regression]" in text and "CV-SMAPE" in text
+
+    def test_deterministic(self, noisy_experiment_1p):
+        kern = noisy_experiment_1p.only_kernel()
+        a = RegressionModeler().model_kernel(kern)
+        b = RegressionModeler().model_kernel(kern)
+        assert a.function.format() == b.function.format()

@@ -1,0 +1,103 @@
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.experiment.experiment import Kernel
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.terms import CompoundTerm, ExponentPair
+from repro.regression.multi_parameter import (
+    MultiParameterModeler,
+    combination_hypotheses,
+    set_partitions,
+)
+from repro.synthesis.measurements import grid_coordinates, synthesize_measurements
+
+F = Fraction
+X1 = np.array([4.0, 8.0, 16.0, 32.0, 64.0])
+X2 = np.array([10.0, 20.0, 30.0, 40.0, 50.0])
+X3 = np.array([3.0, 6.0, 9.0, 12.0, 15.0])
+
+
+def kernel_for(function: PerformanceFunction, value_sets) -> Kernel:
+    kern = Kernel("k")
+    for meas in synthesize_measurements(function, grid_coordinates(value_sets), rng=0):
+        kern.add(meas)
+    return kern
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n, bell", [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)])
+    def test_bell_numbers(self, n, bell):
+        assert len(list(set_partitions(list(range(n))))) == bell
+
+    def test_partitions_cover_all_items(self):
+        for partition in set_partitions([0, 1, 2]):
+            flat = sorted(x for block in partition for x in block)
+            assert flat == [0, 1, 2]
+
+
+class TestCombinationHypotheses:
+    def test_two_active_parameters(self):
+        terms = [CompoundTerm(1), CompoundTerm(2)]
+        hyps = combination_hypotheses(terms)
+        # constant + additive + multiplicative
+        assert len(hyps) == 3
+        sizes = sorted(len(h.groups) for h in hyps)
+        assert sizes == [0, 1, 2]
+
+    def test_inactive_parameter_dropped(self):
+        hyps = combination_hypotheses([CompoundTerm(1), None])
+        assert len(hyps) == 2  # constant + single term
+
+    def test_all_constant(self):
+        hyps = combination_hypotheses([None, CompoundTerm(0, 0)])
+        assert len(hyps) == 1
+        assert hyps[0].groups == ()
+
+    def test_three_parameters_partition_count(self):
+        terms = [CompoundTerm(1), CompoundTerm(2), CompoundTerm(0, 1)]
+        hyps = combination_hypotheses(terms)
+        assert len(hyps) == 6  # constant + Bell(3)
+
+
+class TestMultiParameterModeler:
+    def test_multiplicative_recovery(self):
+        truth = PerformanceFunction.single_term(
+            3.0, 0.5, [ExponentPair(1, 0), ExponentPair(F(1, 2), 1)]
+        )
+        best = MultiParameterModeler().model_kernel(kernel_for(truth, [X1, X2]), 2)
+        assert best.function.lead_exponents() == truth.lead_exponents()
+        assert len(best.function.terms) == 1  # one product term
+
+    def test_additive_recovery(self):
+        truth = PerformanceFunction.additive(
+            2.0, [1.5, 0.3], [ExponentPair(1, 0), ExponentPair(2, 0)]
+        )
+        best = MultiParameterModeler().model_kernel(kernel_for(truth, [X1, X2]), 2)
+        assert best.function.lead_exponents() == truth.lead_exponents()
+        assert len(best.function.terms) == 2  # two additive terms
+
+    def test_inactive_parameter_recovery(self):
+        truth = PerformanceFunction(
+            4.0, [PerformanceFunction.single_term(0, 1.0, [ExponentPair(2, 0)]).terms[0]], 2
+        )
+        best = MultiParameterModeler().model_kernel(kernel_for(truth, [X1, X2]), 2)
+        leads = best.function.lead_exponents()
+        assert leads[0].i == 2 and leads[1].is_constant
+
+    def test_three_parameter_recovery(self):
+        from repro.pmnf.function import MultiTerm
+
+        truth = PerformanceFunction(
+            8.51,
+            [MultiTerm(0.11, {0: CompoundTerm(F(1, 3)), 1: CompoundTerm(1), 2: CompoundTerm(F(4, 5))})],
+            3,
+        )
+        best = MultiParameterModeler().model_kernel(kernel_for(truth, [X1, X2, X3]), 3)
+        assert best.function.lead_exponents() == truth.lead_exponents()
+
+    def test_single_parameter_passthrough(self):
+        truth = PerformanceFunction.single_term(1.0, 2.0, [ExponentPair(1, 0)])
+        best = MultiParameterModeler().model_kernel(kernel_for(truth, [X1]), 1)
+        assert best.function.lead_exponents()[0].i == 1

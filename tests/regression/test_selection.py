@@ -1,0 +1,133 @@
+import numpy as np
+import pytest
+
+from repro.pmnf.terms import CompoundTerm
+from repro.regression.hypothesis import Hypothesis, fit_hypothesis
+from repro.regression.selection import (
+    evaluate_hypotheses,
+    loo_predictions,
+    select_best,
+)
+from repro.regression.smape import smape
+
+XS = np.array([[4.0], [8.0], [16.0], [32.0], [64.0]])
+
+
+def explicit_loo(design: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Reference implementation: refit without each point."""
+    n = len(values)
+    out = np.empty(n)
+    for i in range(n):
+        mask = np.arange(n) != i
+        scales = np.max(np.abs(design[mask]), axis=0)
+        scales[scales == 0] = 1.0
+        coef, *_ = np.linalg.lstsq(design[mask] / scales, values[mask], rcond=None)
+        out[i] = design[i] / scales @ coef
+    return out
+
+
+class TestLooPredictions:
+    def test_matches_explicit_refits(self):
+        """The hat-matrix shortcut must agree with actually refitting."""
+        gen = np.random.default_rng(0)
+        design = np.stack([np.ones(5), XS[:, 0] ** 1.5], axis=1)
+        values = 3.0 + 0.5 * XS[:, 0] ** 1.5 + gen.normal(0, 5.0, 5)
+        np.testing.assert_allclose(
+            loo_predictions(design, values), explicit_loo(design, values), rtol=1e-8
+        )
+
+    def test_matches_on_log_design(self):
+        gen = np.random.default_rng(1)
+        design = np.stack([np.ones(5), np.log2(XS[:, 0])], axis=1)
+        values = 2.0 + 7.0 * np.log2(XS[:, 0]) + gen.normal(0, 1.0, 5)
+        np.testing.assert_allclose(
+            loo_predictions(design, values), explicit_loo(design, values), rtol=1e-8
+        )
+
+    def test_perfect_fit_perfect_loo(self):
+        design = np.stack([np.ones(5), XS[:, 0]], axis=1)
+        values = 1.0 + 2.0 * XS[:, 0]
+        np.testing.assert_allclose(loo_predictions(design, values), values, rtol=1e-9)
+
+    def test_rank_deficient_handled(self):
+        design = np.stack([np.ones(5), np.ones(5)], axis=1)  # duplicate columns
+        values = np.full(5, 3.0)
+        out = loo_predictions(design, values)
+        assert np.all(np.isfinite(out))
+
+
+class TestEvaluateHypotheses:
+    def test_scores_every_feasible_hypothesis(self):
+        hyps = [Hypothesis.constant(1), Hypothesis([{0: CompoundTerm(1)}], 1)]
+        values = 1.0 + 2.0 * XS[:, 0]
+        scored = evaluate_hypotheses(hyps, XS, values)
+        assert len(scored) == 2
+
+    def test_skips_underdetermined(self):
+        big = Hypothesis(
+            [{0: CompoundTerm(1)}, {0: CompoundTerm(2)}, {0: CompoundTerm(3)},
+             {0: CompoundTerm(0, 1)}], 1
+        )
+        scored = evaluate_hypotheses([big], XS, np.ones(5))
+        assert scored == []
+
+    def test_cv_smape_penalizes_overfitting(self):
+        """In-sample the steeper model can fit noise; LOO must not reward it."""
+        gen = np.random.default_rng(2)
+        values = np.full(5, 100.0) + gen.normal(0, 1.0, 5)
+        hyps = [Hypothesis.constant(1), Hypothesis([{0: CompoundTerm(3)}], 1)]
+        scored = {len(s.fitted.hypothesis.groups): s for s in evaluate_hypotheses(hyps, XS, values)}
+        assert scored[0].cv_smape < scored[1].cv_smape
+
+
+class TestSelectBest:
+    def test_lowest_cv_wins(self):
+        values = 1.0 + 2.0 * XS[:, 0]
+        hyps = [Hypothesis.constant(1), Hypothesis([{0: CompoundTerm(1)}], 1)]
+        best = select_best(evaluate_hypotheses(hyps, XS, values))
+        assert not best.function.is_constant()
+
+    def test_tie_breaks_to_simpler(self):
+        # Constant data: every hypothesis fits exactly (CV 0 after pruning);
+        # the constant structure must win the tie.
+        values = np.full(5, 5.0)
+        hyps = [Hypothesis([{0: CompoundTerm(1)}], 1), Hypothesis.constant(1)]
+        best = select_best(evaluate_hypotheses(hyps, XS, values))
+        assert best.function.is_constant()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            select_best([])
+
+    def test_negative_coefficient_models_avoided(self):
+        """A fit with a negative growth-term coefficient is only selected
+        when no plausible alternative exists -- negative terms extrapolate
+        to nonsense (the PMNF is a prior over costs)."""
+        gen = np.random.default_rng(4)
+        # Decreasing-looking noisy data around a constant: the x^3 hypothesis
+        # fits best in-sample with a negative coefficient.
+        values = np.array([110.0, 105.0, 100.0, 96.0, 60.0]) + gen.normal(0, 1.0, 5)
+        hyps = [Hypothesis.constant(1), Hypothesis([{0: CompoundTerm(3)}], 1)]
+        scored = evaluate_hypotheses(hyps, XS, values)
+        cubic = next(s for s in scored if s.fitted.hypothesis.groups)
+        assert cubic.function.terms[0].coefficient < 0  # precondition
+        best = select_best(scored)
+        assert best.function.is_constant()
+
+    def test_implausible_selected_as_last_resort(self):
+        values = np.array([110.0, 105.0, 100.0, 96.0, 60.0])
+        hyps = [Hypothesis([{0: CompoundTerm(3)}], 1)]
+        best = select_best(evaluate_hypotheses(hyps, XS, values))
+        assert best.function.terms[0].coefficient < 0
+
+
+class TestCvConsistency:
+    def test_cv_score_reproducible_from_parts(self):
+        gen = np.random.default_rng(3)
+        values = 2.0 + 0.1 * XS[:, 0] ** 2 + gen.normal(0, 3.0, 5)
+        hyp = Hypothesis([{0: CompoundTerm(2)}], 1)
+        (scored,) = evaluate_hypotheses([hyp], XS, values)
+        loo = loo_predictions(hyp.design_matrix(XS), values)
+        assert scored.cv_smape == pytest.approx(smape(values, loo))
+        refit = fit_hypothesis(hyp, XS, values)
+        assert scored.fitted.smape == pytest.approx(refit.smape)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.pmnf.searchspace import EXPONENT_PAIRS
+from repro.pmnf.terms import CompoundTerm, ExponentPair
+from repro.regression.single_parameter import (
+    SingleParameterModeler,
+    single_parameter_hypotheses,
+)
+
+XS = np.array([4.0, 8.0, 16.0, 32.0, 64.0])
+
+
+class TestHypothesisGeneration:
+    def test_full_search_space(self):
+        hyps = single_parameter_hypotheses()
+        assert len(hyps) == 43
+        assert sum(1 for h in hyps if not h.groups) == 1  # exactly one constant
+
+    def test_restricted_pairs(self):
+        pairs = [ExponentPair(1, 0), ExponentPair(2, 0)]
+        assert len(single_parameter_hypotheses(pairs)) == 2
+
+    def test_duplicates_collapsed(self):
+        pairs = [ExponentPair(1, 0), ExponentPair(1, 0)]
+        assert len(single_parameter_hypotheses(pairs)) == 1
+
+
+class TestSingleParameterModeler:
+    @pytest.mark.parametrize("pair", EXPONENT_PAIRS[::6])
+    def test_recovers_every_sampled_class_noise_free(self, pair):
+        """Extra-P must identify each structure exactly from clean data."""
+        modeler = SingleParameterModeler()
+        if pair.is_constant:
+            values = np.full(XS.size, 7.0)
+        else:
+            values = 3.0 + 0.8 * CompoundTerm.from_pair(pair).evaluate(XS)
+        best = modeler.model(XS, values)
+        assert best.function.lead_exponents()[0] == pair
+        assert best.cv_smape == pytest.approx(0.0, abs=1e-6)
+
+    def test_coefficients_recovered(self):
+        values = 5.0 + 2.0 * XS**1.5
+        best = SingleParameterModeler().model(XS, values)
+        assert best.function.constant == pytest.approx(5.0, rel=1e-6)
+        assert best.function.terms[0].coefficient == pytest.approx(2.0, rel=1e-6)
+
+    def test_low_noise_recovery_is_close(self):
+        gen = np.random.default_rng(0)
+        truth = 5.0 + 2.0 * XS**1.5
+        values = truth * (1 + gen.uniform(-0.01, 0.01, XS.size))
+        best = SingleParameterModeler().model(XS, values)
+        lead = best.function.lead_exponents()[0]
+        assert abs(float(lead.i) - 1.5) <= 0.25
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="five"):
+            SingleParameterModeler().model(XS[:4], np.ones(4))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SingleParameterModeler().model(XS, np.ones(4))

@@ -1,0 +1,46 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regression.smape import smape
+
+finite_arrays = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=20
+)
+
+
+class TestSmape:
+    def test_perfect_prediction_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert smape(a, a) == 0.0
+
+    def test_known_value(self):
+        # |1-3| * 2 / (1+3) = 1.0 -> 100 %
+        assert smape(np.array([1.0]), np.array([3.0])) == pytest.approx(100.0)
+
+    def test_opposite_signs_max_out(self):
+        assert smape(np.array([1.0]), np.array([-1.0])) == pytest.approx(200.0)
+
+    def test_both_zero_contributes_nothing(self):
+        assert smape(np.array([0.0, 1.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            smape(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            smape(np.array([]), np.array([]))
+
+    @given(finite_arrays)
+    def test_bounded(self, values):
+        a = np.asarray(values)
+        p = a[::-1].copy()
+        assert 0.0 <= smape(a, p) <= 200.0
+
+    @given(finite_arrays)
+    def test_symmetric(self, values):
+        a = np.asarray(values)
+        p = a * 1.3 + 1.0
+        assert smape(a, p) == pytest.approx(smape(p, a))

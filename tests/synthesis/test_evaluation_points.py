@@ -1,0 +1,28 @@
+import numpy as np
+import pytest
+
+from repro.experiment.measurement import Coordinate
+from repro.synthesis.evaluation_points import evaluation_points
+
+
+class TestEvaluationPoints:
+    def test_diagonal_continuation(self):
+        pts = evaluation_points([np.array([4.0, 8.0, 16.0]), np.array([10.0, 20.0, 30.0])], 2)
+        assert pts[0] == Coordinate(32.0, 40.0)
+        assert pts[1] == Coordinate(64.0, 50.0)
+
+    def test_default_four_points(self):
+        pts = evaluation_points([np.array([2.0, 4.0, 8.0])])
+        assert len(pts) == 4
+        np.testing.assert_allclose([p[0] for p in pts], [16.0, 32.0, 64.0, 128.0])
+
+    def test_points_strictly_outside_range(self):
+        sets = [np.array([4.0, 8.0, 16.0, 32.0, 64.0]), np.array([3.0, 6.0, 9.0, 12.0, 15.0])]
+        for k, p in enumerate(evaluation_points(sets)):
+            for l, xs in enumerate(sets):
+                assert p[l] > xs.max()
+
+    def test_farther_points_grow(self):
+        pts = evaluation_points([np.array([4.0, 8.0, 16.0])], 4)
+        values = [p[0] for p in pts]
+        assert values == sorted(values)

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.pmnf.searchspace import NUM_CLASSES
+from repro.synthesis.functions import (
+    COEFFICIENT_RANGE,
+    all_single_parameter_structures,
+    random_coefficient,
+    random_exponent_pair,
+    random_multi_parameter_function,
+    random_single_parameter_function,
+)
+from repro.util.seeding import spawn_generators
+
+
+class TestRandomCoefficient:
+    def test_in_range(self):
+        gen = np.random.default_rng(0)
+        lo, hi = COEFFICIENT_RANGE
+        for _ in range(100):
+            assert lo <= random_coefficient(gen) <= hi
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            random_coefficient(0, (0.0, 1.0))
+        with pytest.raises(ValueError):
+            random_coefficient(0, (10.0, 1.0))
+
+
+class TestRandomExponentPair:
+    def test_covers_space(self):
+        gen = np.random.default_rng(0)
+        seen = {random_exponent_pair(gen) for _ in range(2000)}
+        assert len(seen) == NUM_CLASSES
+
+    def test_exclude_constant(self):
+        gen = np.random.default_rng(0)
+        for _ in range(200):
+            assert not random_exponent_pair(gen, exclude_constant=True).is_constant
+
+
+class TestRandomSingleParameterFunction:
+    def test_form(self):
+        f = random_single_parameter_function(3)
+        assert f.n_params == 1
+        assert len(f.terms) <= 1
+
+    def test_positive_on_domain(self):
+        for gen in spawn_generators(1, 50):
+            f = random_single_parameter_function(gen)
+            xs = np.array([[2.0], [64.0], [32768.0]])
+            assert np.all(f.evaluate(xs) > 0)
+
+    def test_constant_possible(self):
+        constants = sum(
+            random_single_parameter_function(g).is_constant() for g in spawn_generators(2, 200)
+        )
+        assert 0 < constants < 50  # ~1/43 of draws
+
+
+class TestRandomMultiParameterFunction:
+    def test_arity(self):
+        f = random_multi_parameter_function(3, 0)
+        assert f.n_params == 3
+
+    def test_multiplicative_and_additive_both_occur(self):
+        n_terms = [
+            len(random_multi_parameter_function(2, g).terms) for g in spawn_generators(3, 100)
+        ]
+        assert 1 in n_terms and 2 in n_terms
+
+    def test_multiplicative_probability_extremes(self):
+        for g in spawn_generators(4, 30):
+            f = random_multi_parameter_function(2, g, multiplicative_probability=1.0)
+            assert len(f.terms) <= 1  # single product term (or constant)
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            random_multi_parameter_function(0, 0)
+
+
+class TestAllStructures:
+    def test_one_per_class(self):
+        structures = all_single_parameter_structures()
+        assert len(structures) == NUM_CLASSES
+        keys = {f.structure_key() for f in structures}
+        assert len(keys) == NUM_CLASSES

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.experiment.measurement import Coordinate
+from repro.noise.injection import UniformNoise
+from repro.pmnf.function import PerformanceFunction
+from repro.pmnf.terms import ExponentPair
+from repro.synthesis.measurements import (
+    grid_coordinates,
+    synthesize_experiment,
+    synthesize_measurements,
+)
+
+LINEAR = PerformanceFunction.single_term(1.0, 2.0, [ExponentPair(1, 0)])
+
+
+class TestGridCoordinates:
+    def test_cartesian_product(self):
+        coords = grid_coordinates([np.array([2.0, 4.0]), np.array([10.0, 20.0, 30.0])])
+        assert len(coords) == 6
+        assert Coordinate(4.0, 30.0) in coords
+
+    def test_single_parameter(self):
+        coords = grid_coordinates([np.array([2.0, 4.0])])
+        assert coords == [Coordinate(2.0), Coordinate(4.0)]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            grid_coordinates([])
+
+
+class TestSynthesizeMeasurements:
+    def test_noise_free_equals_truth(self):
+        coords = grid_coordinates([np.array([2.0, 4.0, 8.0])])
+        ms = synthesize_measurements(LINEAR, coords, repetitions=3, rng=0)
+        for meas in ms:
+            expected = LINEAR.evaluate(meas.coordinate.as_array())
+            np.testing.assert_allclose(meas.values, expected)
+
+    def test_repetition_count(self):
+        coords = grid_coordinates([np.array([2.0])])
+        (meas,) = synthesize_measurements(LINEAR, coords, repetitions=5, rng=0)
+        assert meas.repetitions == 5
+
+    def test_noise_bounded(self):
+        coords = grid_coordinates([np.array([2.0, 4.0, 8.0, 16.0])])
+        ms = synthesize_measurements(LINEAR, coords, UniformNoise(0.2), 5, rng=1)
+        for meas in ms:
+            truth = LINEAR.evaluate(meas.coordinate.as_array())
+            assert np.all(np.abs(meas.values / truth - 1.0) <= 0.1 + 1e-12)
+
+    def test_deterministic(self):
+        coords = grid_coordinates([np.array([2.0, 4.0])])
+        a = synthesize_measurements(LINEAR, coords, UniformNoise(0.5), 5, rng=7)
+        b = synthesize_measurements(LINEAR, coords, UniformNoise(0.5), 5, rng=7)
+        for ma, mb in zip(a, b):
+            np.testing.assert_array_equal(ma.values, mb.values)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            synthesize_measurements(LINEAR, grid_coordinates([np.array([2.0])]), repetitions=0)
+
+
+class TestSynthesizeExperiment:
+    def test_structure(self):
+        exp = synthesize_experiment(
+            LINEAR, [np.array([2.0, 4.0, 8.0])], kernel="main", parameter_names=["p"]
+        )
+        assert exp.parameters == ("p",)
+        assert len(exp.only_kernel()) == 3
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            synthesize_experiment(LINEAR, [np.array([2.0])], parameter_names=["a", "b"])

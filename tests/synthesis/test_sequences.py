@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthesis.sequences import SequenceKind, continue_sequence, random_sequence
+
+
+class TestRandomSequence:
+    @pytest.mark.parametrize("kind", list(SequenceKind))
+    def test_strictly_increasing_and_positive(self, kind):
+        for seed in range(10):
+            xs = random_sequence(5, kind, seed)
+            assert np.all(np.diff(xs) > 0)
+            assert np.all(xs >= 2)
+
+    def test_length_respected(self):
+        for n in (2, 5, 11):
+            assert random_sequence(n, SequenceKind.LINEAR, 0).size == n
+
+    def test_small_exponential_doubles(self):
+        xs = random_sequence(5, SequenceKind.SMALL_EXPONENTIAL, 1)
+        np.testing.assert_allclose(xs[1:] / xs[:-1], 2.0)
+
+    def test_exponential_large_factor(self):
+        xs = random_sequence(5, SequenceKind.EXPONENTIAL, 1)
+        factor = xs[1] / xs[0]
+        assert factor in (4.0, 8.0)
+
+    def test_linear_constant_stride(self):
+        xs = random_sequence(6, SequenceKind.LINEAR, 2)
+        np.testing.assert_allclose(np.diff(xs), np.diff(xs)[0])
+
+    def test_random_kind_deterministic(self):
+        np.testing.assert_array_equal(random_sequence(5, None, 9), random_sequence(5, None, 9))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            random_sequence(1)
+
+
+class TestContinueSequence:
+    def test_geometric_continuation(self):
+        out = continue_sequence(np.array([4.0, 8.0, 16.0, 32.0, 64.0]), 4)
+        np.testing.assert_allclose(out, [128.0, 256.0, 512.0, 1024.0])
+
+    def test_arithmetic_continuation(self):
+        out = continue_sequence(np.array([10.0, 20.0, 30.0]), 2)
+        np.testing.assert_allclose(out, [40.0, 50.0])
+
+    def test_irregular_uses_mean_spacing(self):
+        xs = np.array([2.0, 5.0, 11.0])  # spacings 3, 6 -> mean 4.5
+        out = continue_sequence(xs, 2)
+        np.testing.assert_allclose(out, [15.5, 20.0])
+
+    def test_kripke_sequence(self):
+        out = continue_sequence(np.array([8.0, 64.0, 512.0, 4096.0, 32768.0]), 1)
+        np.testing.assert_allclose(out, [262144.0])
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            continue_sequence(np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            continue_sequence(np.array([1.0, 2.0]), 0)
+
+    @given(
+        kind=st.sampled_from(list(SequenceKind)),
+        seed=st.integers(min_value=0, max_value=10_000),
+        count=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_continuation_extends_beyond_range(self, kind, seed, count):
+        """Evaluation points P+ always lie strictly beyond the modeled range."""
+        xs = random_sequence(5, kind, seed)
+        out = continue_sequence(xs, count)
+        assert out.size == count
+        assert out[0] > xs[-1]
+        assert np.all(np.diff(np.concatenate([[xs[-1]], out])) > 0)

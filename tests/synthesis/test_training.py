@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.noise.injection import NoNoise, UniformNoise
+from repro.pmnf.searchspace import CONSTANT_CLASS, NUM_CLASSES, class_index
+from repro.pmnf.terms import ExponentPair
+from repro.preprocessing.encoding import INPUT_SIZE
+from repro.synthesis.training import (
+    TrainingSetConfig,
+    generate_training_set,
+    synthesize_sample,
+)
+
+
+class TestTrainingSetConfig:
+    def test_defaults_valid(self):
+        cfg = TrainingSetConfig()
+        assert cfg.samples_per_class > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"samples_per_class": 0},
+            {"min_points": 1},
+            {"min_points": 8, "max_points": 6},
+            {"max_points": 20},
+            {"repetitions": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingSetConfig(**kwargs)
+
+
+class TestSynthesizeSample:
+    def test_shape(self):
+        vec = synthesize_sample(5, TrainingSetConfig(), rng=0)
+        assert vec.shape == (INPUT_SIZE,)
+
+    def test_constant_class_constant_vector(self):
+        cfg = TrainingSetConfig(noise=NoNoise())
+        vec = synthesize_sample(CONSTANT_CLASS, cfg, rng=0)
+        nz = vec[vec != 0]
+        # v / x decays for a constant function; values differ across slots.
+        assert nz.size >= cfg.min_points
+
+    def test_fixed_parameter_value_sets_used(self):
+        xs = np.array([4.0, 8.0, 16.0, 32.0, 64.0])
+        cfg = TrainingSetConfig(parameter_value_sets=[xs], noise=NoNoise())
+        vec = synthesize_sample(0, cfg, rng=1)
+        assert np.count_nonzero(vec) == 5
+
+    def test_linear_class_noise_free_is_flat(self):
+        """For f = c0 + c1*x, the enriched values v/x approach c1 -- the
+        encoding of a purely linear function decays toward a constant."""
+        label = class_index(ExponentPair(1, 0))
+        xs = np.array([4.0, 8.0, 16.0, 32.0, 64.0])
+        cfg = TrainingSetConfig(parameter_value_sets=[xs], noise=NoNoise())
+        vec = synthesize_sample(label, cfg, rng=2)
+        assert vec.max() == pytest.approx(1.0)
+
+    def test_oversized_value_set_rejected(self):
+        cfg = TrainingSetConfig(parameter_value_sets=[np.arange(2.0, 20.0)])
+        with pytest.raises(ValueError):
+            synthesize_sample(0, cfg, rng=0)
+
+
+class TestGenerateTrainingSet:
+    def test_balanced_classes(self):
+        cfg = TrainingSetConfig(samples_per_class=3)
+        X, y = generate_training_set(cfg, rng=0)
+        assert X.shape == (3 * NUM_CLASSES, INPUT_SIZE)
+        counts = np.bincount(y, minlength=NUM_CLASSES)
+        assert np.all(counts == 3)
+
+    def test_shuffled(self):
+        cfg = TrainingSetConfig(samples_per_class=4)
+        _, y = generate_training_set(cfg, rng=0, shuffle=True)
+        assert not np.all(np.diff(y) >= 0)
+
+    def test_unshuffled_grouped(self):
+        cfg = TrainingSetConfig(samples_per_class=2)
+        _, y = generate_training_set(cfg, rng=0, shuffle=False)
+        assert np.all(np.diff(y) >= 0)
+
+    def test_deterministic(self):
+        cfg = TrainingSetConfig(samples_per_class=2, noise=UniformNoise(0.5))
+        Xa, ya = generate_training_set(cfg, rng=11)
+        Xb, yb = generate_training_set(cfg, rng=11)
+        np.testing.assert_array_equal(Xa, Xb)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_inputs_bounded(self):
+        cfg = TrainingSetConfig(samples_per_class=5)
+        X, _ = generate_training_set(cfg, rng=3)
+        assert np.all(np.abs(X) <= 1.0 + 1e-12)
+        assert np.all(np.isfinite(X))

@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiment.experiment import Experiment
+from repro.experiment.io import save_json, save_text
+
+
+@pytest.fixture
+def experiment_json(tmp_path, clean_experiment_1p):
+    path = tmp_path / "exp.json"
+    save_json(clean_experiment_1p, path)
+    return str(path)
+
+
+@pytest.fixture
+def experiment_text(tmp_path, noisy_experiment_1p):
+    path = tmp_path / "exp.txt"
+    save_text(noisy_experiment_1p, path)
+    return str(path)
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["noise", "f.json"],
+            ["model", "f.json", "--method", "dnn"],
+            ["pretrain", "--net", "paper"],
+            ["evaluate", "--params", "2"],
+            ["casestudy", "kripke"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_invalid_casestudy_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["casestudy", "nonexistent"])
+
+
+class TestNoiseCommand:
+    def test_prints_summary(self, experiment_json, capsys):
+        assert main(["noise", experiment_json]) == 0
+        out = capsys.readouterr().out
+        assert "pooled rrd" in out
+        assert "synthetic" in out
+
+    def test_text_format_supported(self, experiment_text, capsys):
+        assert main(["noise", experiment_text]) == 0
+        assert "overall" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generate_then_model_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "gen.json")
+        assert (
+            main(
+                [
+                    "generate",
+                    out,
+                    "--params",
+                    "p",
+                    "--function",
+                    "5 + 2 * p^(3/2)",
+                    "--values",
+                    "4,8,16,32,64",
+                    "--repetitions",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["model", out, "--method", "regression"]) == 0
+        printed = capsys.readouterr().out
+        assert "p^(3/2)" in printed
+
+    def test_generate_text_format(self, tmp_path):
+        out = tmp_path / "gen.txt"
+        main(["generate", str(out), "--noise", "10", "--seed", "3"])
+        from repro.experiment.io import load_text
+
+        exp = load_text(out)
+        assert len(exp.only_kernel()) == 5
+
+    def test_value_count_mismatch_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "generate",
+                    str(tmp_path / "x.json"),
+                    "--params",
+                    "p",
+                    "n",
+                    "--values",
+                    "4,8,16,32,64",
+                ]
+            )
+
+
+class TestModelCommand:
+    def test_regression_model_printed(self, experiment_json, capsys):
+        assert main(["model", experiment_json, "--method", "regression"]) == 0
+        out = capsys.readouterr().out
+        assert "[regression]" in out
+        assert "CV-SMAPE" in out
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["model", str(tmp_path / "nope.json"), "--method", "regression"])

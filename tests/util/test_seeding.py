@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.util.seeding import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert as_generator(1).random() != as_generator(2).random()
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        a = as_generator(seq).random()
+        b = as_generator(np.random.SeedSequence(5)).random()
+        assert a == b
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 7)) == 7
+
+    def test_children_are_independent_and_deterministic(self):
+        a = [g.random() for g in spawn_generators(3, 4)]
+        b = [g.random() for g in spawn_generators(3, 4)]
+        assert a == b
+        assert len(set(a)) == 4  # all streams differ
+
+    def test_repeated_spawns_from_same_parent_differ(self):
+        parent = np.random.default_rng(9)
+        first = [g.random() for g in spawn_generators(parent, 2)]
+        second = [g.random() for g in spawn_generators(parent, 2)]
+        assert first != second
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)

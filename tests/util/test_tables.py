@@ -1,0 +1,30 @@
+import pytest
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.333]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.50" in out and "0.33" in out
+        # header, separator, two rows
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["short"], ["a much longer cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

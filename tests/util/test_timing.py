@@ -1,0 +1,46 @@
+import time
+
+import pytest
+
+from repro.util.timing import Timer
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_accumulates_across_intervals(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed > first
+
+    def test_stop_returns_interval(self):
+        t = Timer()
+        t.start()
+        interval = t.stop()
+        assert interval >= 0
+        assert t.elapsed == pytest.approx(interval)
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0

@@ -1,0 +1,43 @@
+import numpy as np
+import pytest
+
+from repro.util.validation import as_float_array, require_in_range, require_positive
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            require_positive("x", value)
+
+
+class TestRequireInRange:
+    def test_bounds_inclusive(self):
+        assert require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_outside_raises(self):
+        with pytest.raises(ValueError):
+            require_in_range("x", 1.5, 0.0, 1.0)
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            require_in_range("x", float("nan"), 0.0, 1.0)
+
+
+class TestAsFloatArray:
+    def test_from_list(self):
+        arr = as_float_array("v", [1, 2, 3])
+        assert arr.dtype == float
+        np.testing.assert_array_equal(arr, [1.0, 2.0, 3.0])
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            as_float_array("v", np.zeros((2, 2)))
+
+    def test_non_finite(self):
+        with pytest.raises(ValueError):
+            as_float_array("v", [1.0, float("nan")])
