@@ -1,0 +1,119 @@
+"""Engine bench: the fault-tolerant sweep engine vs the seed dispatch.
+
+Runs the same seeded 1000-task synthetic sweep (m = 1, four noise levels x
+250 functions) two ways:
+
+* **seed path** -- serial, one function per task, per-kernel classification
+  (``processes=1, batch_size=1``): how the sweep driver dispatched work
+  before the engine existed;
+* **engine path** -- 4 workers with 25-function batches, so DNN
+  classification of each batch is one stacked forward pass.
+
+Results must be bit-identical (the engine's determinism contract); the
+wall-clock ratio and the per-stage attribution are written to
+``benchmarks/results/BENCH_sweep_engine.json``. The >= 2x speedup claim is
+only asserted where the hardware can express it (>= 4 CPUs) -- on smaller
+machines the JSON still records the honest measured ratio and the CPU
+count it was obtained on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dnn.modeler import DNNModeler
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.regression.modeler import RegressionModeler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NOISE_LEVELS = (0.05, 0.2, 0.5, 1.0)
+FUNCTIONS_PER_LEVEL = 250  # x 4 noise levels = the 1000-task sweep
+SEED = 20210517
+ENGINE_WORKERS = 4
+ENGINE_BATCH = 25
+
+
+def _modelers(generic_network):
+    return {
+        "regression": RegressionModeler(),
+        "dnn": DNNModeler(network=generic_network, use_domain_adaptation=False),
+    }
+
+
+def _run(generic_network, processes: int, batch_size: int):
+    config = SweepConfig(
+        n_params=1,
+        noise_levels=NOISE_LEVELS,
+        n_functions=FUNCTIONS_PER_LEVEL,
+        batch_size=batch_size,
+    )
+    started = time.perf_counter()
+    result = run_sweep(config, _modelers(generic_network), rng=SEED, processes=processes)
+    return time.perf_counter() - started, result
+
+
+def test_engine_speedup_vs_seed_dispatch(generic_network, record_table, benchmark):
+    seed_seconds, seed_result = _run(generic_network, processes=1, batch_size=1)
+    engine_seconds, engine_result = _run(
+        generic_network, processes=ENGINE_WORKERS, batch_size=ENGINE_BATCH
+    )
+
+    # The engine may only be faster, never different.
+    for key, cell in seed_result.cells.items():
+        np.testing.assert_array_equal(cell.distances, engine_result.cells[key].distances)
+        np.testing.assert_array_equal(cell.errors, engine_result.cells[key].errors)
+        assert cell.functions == engine_result.cells[key].functions
+    assert seed_result.engine_failures == 0
+    assert engine_result.engine_failures == 0
+
+    cpus = os.cpu_count() or 1
+    speedup = seed_seconds / engine_seconds
+    payload = {
+        "bench": "sweep_engine",
+        "tasks": len(NOISE_LEVELS) * FUNCTIONS_PER_LEVEL,
+        "seed": SEED,
+        "cpu_count": cpus,
+        "seed_path": {
+            "processes": 1,
+            "batch_size": 1,
+            "seconds": round(seed_seconds, 3),
+            "stage_seconds": {k: round(v, 3) for k, v in seed_result.stage_seconds.items()},
+        },
+        "engine_path": {
+            "processes": ENGINE_WORKERS,
+            "batch_size": ENGINE_BATCH,
+            "seconds": round(engine_seconds, 3),
+            "stage_seconds": {k: round(v, 3) for k, v in engine_result.stage_seconds.items()},
+        },
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sweep_engine.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"{'path':<12} {'procs':>5} {'batch':>5} {'seconds':>9}",
+        f"{'seed':<12} {1:>5} {1:>5} {seed_seconds:>9.2f}",
+        f"{'engine':<12} {ENGINE_WORKERS:>5} {ENGINE_BATCH:>5} {engine_seconds:>9.2f}",
+        f"speedup {speedup:.2f}x on {cpus} CPU(s); results bit-identical",
+    ]
+    record_table("Engine vs seed dispatch, 1000-task sweep", "\n".join(lines))
+
+    assert speedup > 1.0, "the engine must beat the seed dispatch outright"
+    if cpus >= ENGINE_WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x with {ENGINE_WORKERS} workers on {cpus} CPUs, got {speedup:.2f}x"
+        )
+
+    # Timed unit: one engine dispatch of a full batched, parallel sweep slice.
+    small = SweepConfig(
+        n_params=1, noise_levels=(0.5,), n_functions=50, batch_size=ENGINE_BATCH
+    )
+    modelers = _modelers(generic_network)
+    benchmark(lambda: run_sweep(small, modelers, rng=SEED, processes=ENGINE_WORKERS))

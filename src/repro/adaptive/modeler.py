@@ -83,6 +83,10 @@ class AdaptiveModeler:
         if self.dnn.use_domain_adaptation:
             task = AdaptationTask.from_experiment(experiment)
             network = self.dnn.network_for_task(task, gen)
+        if hasattr(self.dnn, "classify_batch"):
+            # One stacked forward pass primes the DNN's candidate cache for
+            # every kernel, so the per-kernel calls below skip the network.
+            self.dnn.classify_batch(experiment.kernels, experiment.n_params, network)
         return {
             kern.name: self.model_kernel(kern, experiment.n_params, gen, network=network)
             for kern in experiment.kernels

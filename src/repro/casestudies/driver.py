@@ -2,16 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
 
 import numpy as np
 
 from repro.casestudies.base import SimulatedApplication
 from repro.noise.estimation import NoiseSummary, summarize_noise
+from repro.parallel.engine import EngineConfig, Progress, run_tasks
 from repro.regression.modeler import ModelResult
 from repro.util.seeding import as_generator, spawn_generators
-from repro.util.timing import Timer
+from repro.util.timing import StageTimer, Timer
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,9 @@ class CaseStudyResult:
     noise: NoiseSummary  # Fig. 5 panel
     outcomes: list[KernelOutcome]
     total_seconds: dict[str, float]  # Fig. 6 bars (includes retraining)
+    #: Wall-clock seconds per driver stage (campaign simulation, noise
+    #: summary, modeling across all modelers).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def median_error(self, modeler: str) -> float:
         """Fig. 4 bar: median relative error over performance-relevant kernels."""
@@ -58,10 +62,41 @@ class CaseStudyResult:
         return self.total_seconds[modeler] / base if base > 0 else float("inf")
 
 
+# ------------------------------------------------------------------- worker
+_DRIVER_STATE: dict = {}
+
+
+def _init_driver_worker(modeling, modelers: Mapping[str, object]) -> None:
+    _DRIVER_STATE["modeling"] = modeling
+    _DRIVER_STATE["modelers"] = modelers
+
+
+def _model_one_modeler(task) -> tuple[str, dict[str, ModelResult], float]:
+    """Run one modeler over the whole modeling experiment (one engine task).
+
+    Modelers with an adaptation cache are reset first so repeated driver
+    runs stay comparable -- every run pays the same adaptation cost.
+    """
+    name, m_rng = task
+    modeling = _DRIVER_STATE["modeling"]
+    modeler = _DRIVER_STATE["modelers"][name]
+    dnn = getattr(modeler, "dnn", modeler)
+    if hasattr(dnn, "reset_caches"):
+        dnn.reset_caches()
+    elif hasattr(dnn, "_adapted"):
+        dnn._adapted = {}
+    with Timer() as timer:
+        results = modeler.model_experiment(modeling, rng=m_rng)
+    return name, results, timer.elapsed
+
+
 def run_case_study(
     application: SimulatedApplication,
     modelers: Mapping[str, object],
     rng=None,
+    processes: "int | None" = None,
+    engine: "EngineConfig | None" = None,
+    progress: "Callable[[Progress], None] | None" = None,
 ) -> CaseStudyResult:
     """Simulate the campaign and evaluate every modeler on it.
 
@@ -70,30 +105,47 @@ def run_case_study(
     paper -- the reference itself carries measurement noise. Timing wraps
     the whole ``model_experiment`` call, so the adaptive modeler's
     domain-adaptation retraining is included (that is the overhead Fig. 6
-    reports). Modelers with an adaptation cache are reset first so repeated
-    driver runs stay comparable.
+    reports).
+
+    Modelers run as independent engine tasks: each receives its own
+    pre-spawned RNG, so serial and process-parallel executions (``processes``
+    / ``REPRO_PROCS``) produce identical models. The default stays serial;
+    DNN classification inside ``model_experiment`` is batched over all
+    kernels either way.
     """
     gen = as_generator(rng)
+    stages = StageTimer()
     campaign_rng, *modeler_rngs = spawn_generators(gen, len(modelers) + 1)
-    campaign = application.run_campaign(campaign_rng)
-    modeling = application.modeling_experiment(campaign)
+    with stages.time("campaign"):
+        campaign = application.run_campaign(campaign_rng)
+        modeling = application.modeling_experiment(campaign)
     relevant = {k.name for k in application.relevant_kernels()}
 
     references = {
         kern.name: kern.measurement_at(application.evaluation_point).median
         for kern in campaign.kernels
     }
+    with stages.time("noise"):
+        noise = summarize_noise(modeling)
+
+    engine_config = engine or EngineConfig()
+    if processes is not None:
+        engine_config = replace(engine_config, processes=processes)
+    with stages.time("modeling"):
+        raw = run_tasks(
+            _model_one_modeler,
+            list(zip(modelers.keys(), modeler_rngs)),
+            engine_config,
+            initializer=_init_driver_worker,
+            initargs=(modeling, modelers),
+            progress=progress,
+        )
 
     outcomes: list[KernelOutcome] = []
     total_seconds: dict[str, float] = {}
     eval_array = application.evaluation_point.as_array()
-    for (name, modeler), m_rng in zip(modelers.items(), modeler_rngs):
-        dnn = getattr(modeler, "dnn", modeler)
-        if hasattr(dnn, "_adapted"):
-            dnn._adapted = {}
-        with Timer() as timer:
-            results = modeler.model_experiment(modeling, rng=m_rng)
-        total_seconds[name] = timer.elapsed
+    for name, results, seconds in raw:
+        total_seconds[name] = seconds
         for kernel_name, result in results.items():
             outcomes.append(
                 KernelOutcome(
@@ -107,7 +159,8 @@ def run_case_study(
             )
     return CaseStudyResult(
         application=application.name,
-        noise=summarize_noise(modeling),
+        noise=noise,
         outcomes=outcomes,
         total_seconds=total_seconds,
+        stage_seconds=stages.seconds,
     )

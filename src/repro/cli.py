@@ -99,11 +99,28 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(label: str = "sweep"):
+    """A lightweight engine progress callback writing to stderr."""
+
+    def emit(progress) -> None:
+        print(
+            f"\r{label}: {progress.done}/{progress.total} tasks "
+            f"({progress.failed} failed, {progress.retried} retried, "
+            f"{progress.throughput:.1f} tasks/s)",
+            end="" if progress.done < progress.total else "\n",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return emit
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.dnn.modeler import DNNModeler
     from repro.adaptive.modeler import AdaptiveModeler
     from repro.evaluation.figures import format_accuracy_table, format_power_table
     from repro.evaluation.sweep import SweepConfig, run_sweep
+    from repro.parallel.engine import EngineConfig
     from repro.regression.modeler import RegressionModeler
 
     dnn = DNNModeler(use_domain_adaptation=False)
@@ -115,11 +132,34 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         n_params=args.params,
         noise_levels=tuple(n / 100 for n in args.noise),
         n_functions=args.functions,
+        batch_size=args.batch,
     )
-    result = run_sweep(config, modelers, rng=args.seed, processes=args.processes)
+    engine = EngineConfig(
+        processes=args.processes,
+        max_retries=args.retries,
+        chunk_timeout=args.timeout,
+        on_error="mark" if args.keep_going else "raise",
+    )
+    result = run_sweep(
+        config,
+        modelers,
+        rng=args.seed,
+        engine=engine,
+        progress=_progress_printer() if args.progress else None,
+    )
     print(format_accuracy_table(result, title=f"Model accuracy, m={args.params} (Fig. 3)"))
     print()
     print(format_power_table(result, title=f"Predictive power, m={args.params} (Fig. 3)"))
+    stages = result.stage_seconds
+    if stages:
+        breakdown = ", ".join(
+            f"{stage} {stages[stage]:.2f}s"
+            for stage in ("synthesize", "classify", "fit", "total")
+            if stage in stages
+        )
+        print(f"\nstage wall-time: {breakdown}")
+    if result.engine_failures:
+        print(f"warning: {result.engine_failures} task batch(es) failed/timed out")
     return 0
 
 
@@ -204,9 +244,16 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         "regression": RegressionModeler(),
         "adaptive": AdaptiveModeler(),
     }
-    result = run_case_study(application, modelers, rng=args.seed)
+    result = run_case_study(
+        application, modelers, rng=args.seed, processes=args.processes
+    )
     print(f"== {result.application} ==")
     print(f"noise (Fig. 5): {result.noise.format()}")
+    if result.stage_seconds:
+        breakdown = ", ".join(
+            f"{stage} {seconds:.2f}s" for stage, seconds in result.stage_seconds.items()
+        )
+        print(f"stage wall-time: {breakdown}")
     rows = [
         [
             name,
@@ -258,6 +305,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_eval.add_argument("--functions", type=int, default=100)
     p_eval.add_argument("--processes", type=int, default=None)
+    p_eval.add_argument(
+        "--batch", type=int, default=16,
+        help="functions per engine task (batched DNN classification)",
+    )
+    p_eval.add_argument(
+        "--retries", type=int, default=1,
+        help="re-submissions per failing task before giving up",
+    )
+    p_eval.add_argument(
+        "--timeout", type=float, default=None,
+        help="seconds without worker results before outstanding tasks are marked failed",
+    )
+    p_eval.add_argument(
+        "--keep-going", action="store_true",
+        help="mark persistently failing tasks instead of aborting the sweep",
+    )
+    p_eval.add_argument(
+        "--progress", action="store_true", help="print engine throughput to stderr"
+    )
     p_eval.add_argument("--seed", type=int, default=0)
     p_eval.set_defaults(func=_cmd_evaluate)
 
@@ -295,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_case = sub.add_parser("casestudy", help="run a simulated case study (Figs. 4-6)")
     p_case.add_argument("name", choices=("kripke", "fastest", "relearn"))
+    p_case.add_argument("--processes", type=int, default=None)
     p_case.add_argument("--seed", type=int, default=0)
     p_case.set_defaults(func=_cmd_casestudy)
 

@@ -127,6 +127,22 @@ class ReproductionReport:
                 f"Mean absolute estimation error: {self.estimator_error * 100:.2f} "
                 "percentage points (paper: 4.93).",
             ]
+        if any(sweep.stage_seconds for sweep in self.sweeps.values()):
+            rows = []
+            stage_names = ("synthesize", "classify", "fit", "total")
+            for m, sweep in sorted(self.sweeps.items()):
+                rows.append(
+                    [f"m={m}"]
+                    + [f"{sweep.stage_seconds.get(stage, 0.0):.2f}" for stage in stage_names]
+                )
+            lines += [
+                "",
+                "## Engine timing — per-stage wall-clock seconds",
+                "",
+                "```",
+                render_table(["sweep", *stage_names], rows),
+                "```",
+            ]
         return "\n".join(lines) + "\n"
 
     def save(self, directory: "str | Path") -> Path:
@@ -194,7 +210,9 @@ def run_reproduction(
                         )
                     ),
                 }
-                report.case_studies[name] = run_case_study(factory(), modelers, gen)
+                report.case_studies[name] = run_case_study(
+                    factory(), modelers, gen, processes=config.processes
+                )
         if config.include_estimator:
             emit("running the noise-estimator experiment ...")
             report.estimator_error = _estimator_experiment(config.estimator_trials, gen)

@@ -4,15 +4,22 @@ For every noise level and every test function: draw a ground truth from the
 PMNF, simulate a noisy measurement campaign on a random ``5^m`` grid, let
 each modeler recover a model, and record the lead-exponent distance plus the
 extrapolation errors at the four evaluation points ``P+``. The sweep is
-embarrassingly parallel over functions and runs through
-:func:`repro.parallel.parallel_map` (set ``REPRO_PROCS=auto``).
+embarrassingly parallel over functions and runs through the fault-tolerant
+engine of :mod:`repro.parallel.engine` (set ``REPRO_PROCS=auto``): tasks
+are grouped into batches of :attr:`SweepConfig.batch_size` functions so
+that DNN-backed modelers classify a whole batch in one stacked forward
+pass, worker failures are retried and reported with the failing task's
+identity, and a chunk timeout degrades a stuck pool into marked failures
+instead of a hung sweep. Serial, parallel, and batched runs are
+bit-identical because every function carries its own pre-spawned RNG and
+results are reassembled in task order.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -20,7 +27,7 @@ from repro.evaluation.accuracy import ACCURACY_BUCKETS, bucket_fractions, lead_e
 from repro.evaluation.predictive_power import relative_prediction_errors
 from repro.experiment.experiment import Kernel
 from repro.noise.injection import UniformNoise
-from repro.parallel.pool import parallel_map
+from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
 from repro.synthesis.evaluation_points import evaluation_points
 from repro.synthesis.functions import (
     random_multi_parameter_function,
@@ -33,6 +40,7 @@ from repro.synthesis.measurements import (
 )
 from repro.synthesis.sequences import random_sequence
 from repro.util.seeding import as_generator, spawn_generators
+from repro.util.timing import StageTimer, Timer
 
 #: The noise levels of the paper's synthetic evaluation (Sec. V).
 PAPER_NOISE_LEVELS: tuple[float, ...] = (0.02, 0.05, 0.10, 0.20, 0.50, 0.75, 1.00)
@@ -64,6 +72,10 @@ class SweepConfig:
     #: an interaction point (the sparse layout of the FASTEST/RELeARN
     #: campaigns and of Ritter et al. 2020).
     layout: str = "grid"
+    #: Functions per engine task. DNN-backed modelers classify a whole
+    #: batch through one stacked forward pass; 1 reproduces the historical
+    #: one-task-per-function dispatch (results are identical either way).
+    batch_size: int = 16
 
     def __post_init__(self) -> None:
         if self.n_params < 1:
@@ -74,6 +86,8 @@ class SweepConfig:
             raise ValueError("Extra-P needs at least five points per parameter")
         if self.layout not in ("grid", "cross"):
             raise ValueError(f"unknown layout {self.layout!r} (grid/cross)")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
 
 
 @dataclass
@@ -86,6 +100,10 @@ class CellResult:
     errors: np.ndarray  # (n, n_eval_points) percentage errors; NaN on failure
     seconds: float  # summed modeling time
     failures: int
+    #: Formatted selected model per function ('' on failure); lets the
+    #: serial/parallel/batched equivalence test compare model *selections*
+    #: directly instead of only derived metrics.
+    functions: "list[str] | None" = None
 
     def bucket_fractions(self, buckets: Sequence[float] = ACCURACY_BUCKETS) -> Mapping[float, float]:
         return bucket_fractions(self.distances, buckets)
@@ -118,6 +136,12 @@ class SweepResult:
 
     config: SweepConfig
     cells: dict[tuple[float, str], CellResult]
+    #: Wall-clock seconds per pipeline stage (synthesize / classify / fit,
+    #: summed over workers) plus the engine's end-to-end ``total``.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Tasks the engine marked failed (worker crash / chunk timeout), i.e.
+    #: whole batches degraded to failure outcomes rather than hanging.
+    engine_failures: int = 0
 
     def cell(self, noise: float, modeler: str) -> CellResult:
         return self.cells[(noise, modeler)]
@@ -143,20 +167,18 @@ class SweepResult:
 # ------------------------------------------------------------------- worker
 _WORKER_STATE: dict = {}
 
+#: Per-modeler outcome of one function: (distance, errors, seconds, model).
+TaskOutcome = "dict[str, tuple[float, np.ndarray, float, str]]"
+
 
 def _init_worker(config: SweepConfig, modelers: Mapping[str, object]) -> None:
     _WORKER_STATE["config"] = config
     _WORKER_STATE["modelers"] = modelers
 
 
-def _run_task(task: tuple[float, np.random.Generator]) -> dict[str, tuple[float, np.ndarray, float]]:
-    """Model one synthetic function with every modeler; returns per-modeler
-    ``(distance, errors, seconds)``."""
-    noise, gen = task
-    config: SweepConfig = _WORKER_STATE["config"]
-    modelers: Mapping[str, object] = _WORKER_STATE["modelers"]
+def _synthesize_task(noise: float, gen: np.random.Generator, config: SweepConfig):
+    """Draw one ground truth and simulate its noisy campaign."""
     m = config.n_params
-
     if m == 1:
         truth = random_single_parameter_function(gen)
     else:
@@ -172,19 +194,77 @@ def _run_task(task: tuple[float, np.random.Generator]) -> dict[str, tuple[float,
     ):
         kernel.add(meas)
     eval_pts = evaluation_points(value_sets, config.n_eval_points)
+    return truth, kernel, eval_pts, gen
 
-    out: dict[str, tuple[float, np.ndarray, float]] = {}
+
+def _model_task(truth, kernel, eval_pts, gen, config, modelers) -> TaskOutcome:
+    """Model one synthesized function with every modeler."""
+    out: TaskOutcome = {}
     for name, modeler in modelers.items():
         try:
-            result = modeler.model_kernel(kernel, m, rng=gen)
+            result = modeler.model_kernel(kernel, config.n_params, rng=gen)
             distance = lead_exponent_distance(result.function, truth)
             errors = relative_prediction_errors(result.function, truth, eval_pts)
-            out[name] = (distance, errors, result.seconds)
+            out[name] = (distance, errors, result.seconds, result.function.format())
         except Exception:
             # A failed modeling attempt counts as maximally wrong rather than
             # silently shrinking the sample (no silent caps).
-            out[name] = (np.inf, np.full(config.n_eval_points, np.nan), 0.0)
+            out[name] = (np.inf, np.full(config.n_eval_points, np.nan), 0.0, "")
     return out
+
+
+def _failure_outcome(config: SweepConfig, modelers: Mapping[str, object]) -> TaskOutcome:
+    """The all-failed outcome assigned to tasks the engine marked failed."""
+    return {
+        name: (np.inf, np.full(config.n_eval_points, np.nan), 0.0, "")
+        for name in modelers
+    }
+
+
+def _run_batch(
+    batch: "list[tuple[float, np.random.Generator]]",
+) -> "tuple[list[TaskOutcome], dict[str, float]]":
+    """Model one batch of synthetic functions; returns per-task outcomes
+    plus this batch's per-stage wall-clock seconds.
+
+    Every function carries its own pre-spawned RNG and the per-function
+    call order (synthesize, then model) is unchanged from the serial path,
+    so batching does not perturb any random stream. The batched
+    classification pass only *precomputes* what the per-kernel path would
+    compute anyway (the DNN's top-k candidates), priming the modeler's
+    candidate cache.
+    """
+    config: SweepConfig = _WORKER_STATE["config"]
+    modelers: Mapping[str, object] = _WORKER_STATE["modelers"]
+    stages = StageTimer()
+    with stages.time("synthesize"):
+        prepared = [_synthesize_task(noise, gen, config) for noise, gen in batch]
+    with stages.time("classify"):
+        primed: set[int] = set()
+        kernels = [kernel for _, kernel, _, _ in prepared]
+        for modeler in modelers.values():
+            dnn = getattr(modeler, "dnn", modeler)
+            if (
+                hasattr(dnn, "classify_batch")
+                and not getattr(dnn, "use_domain_adaptation", True)
+                and id(dnn) not in primed
+            ):
+                primed.add(id(dnn))
+                dnn.classify_batch(kernels, config.n_params)
+    with stages.time("fit"):
+        outcomes = [_model_task(*prep, config, modelers) for prep in prepared]
+    return outcomes, stages.seconds
+
+
+def _run_task(task: "tuple[float, np.random.Generator]") -> TaskOutcome:
+    """One function end to end -- a single-task batch.
+
+    The per-function unit of work, used by the benchmarks that time one
+    modeling task (`benchmarks/test_bench_fig3_accuracy.py` and the
+    ablations) independently of the batching engine.
+    """
+    outcomes, _ = _run_batch([task])
+    return outcomes[0]
 
 
 def run_sweep(
@@ -192,13 +272,24 @@ def run_sweep(
     modelers: Mapping[str, object],
     rng=None,
     processes: "int | None" = None,
+    engine: "EngineConfig | None" = None,
+    progress: "Callable[[Progress], None] | None" = None,
 ) -> SweepResult:
-    """Run the full sweep.
+    """Run the full sweep through the fault-tolerant engine.
 
     ``modelers`` maps display names to objects with the common
     ``model_kernel(kernel, n_params, rng=...)`` interface. The same noisy
     campaign is given to every modeler (paired comparison), matching the
     paper's protocol.
+
+    ``engine`` sets the execution policy (workers, retries, chunk timeout);
+    ``processes`` is a shorthand overriding just the worker count. Batches
+    the engine marks failed (worker crash after retries with
+    ``on_error='mark'``, or chunk timeout) degrade to all-failed outcomes
+    for their functions -- counted in ``CellResult.failures`` and
+    ``SweepResult.engine_failures`` -- instead of aborting or hanging the
+    sweep. ``progress`` receives engine :class:`Progress` snapshots, where
+    each task is one batch of ``config.batch_size`` functions.
     """
     if not modelers:
         raise ValueError("at least one modeler is required")
@@ -207,13 +298,34 @@ def run_sweep(
     for noise in config.noise_levels:
         for child in spawn_generators(gen, config.n_functions):
             tasks.append((noise, child))
-    raw = parallel_map(
-        _run_task,
-        tasks,
-        processes=processes,
-        initializer=_init_worker,
-        initargs=(config, modelers),
-    )
+    batches = [
+        tasks[start : start + config.batch_size]
+        for start in range(0, len(tasks), config.batch_size)
+    ]
+    engine_config = engine or EngineConfig()
+    if processes is not None:
+        engine_config = replace(engine_config, processes=processes)
+    stages = StageTimer()
+    with Timer() as total:
+        raw_batches = run_tasks(
+            _run_batch,
+            batches,
+            engine_config,
+            initializer=_init_worker,
+            initargs=(config, modelers),
+            progress=progress,
+        )
+    raw: list[TaskOutcome] = []
+    engine_failures = 0
+    for batch, entry in zip(batches, raw_batches):
+        if isinstance(entry, TaskFailure):
+            engine_failures += 1
+            raw.extend(_failure_outcome(config, modelers) for _ in batch)
+        else:
+            outcomes, batch_stages = entry
+            raw.extend(outcomes)
+            stages.merge(batch_stages)
+    stages.add("total", total.elapsed)
     cells: dict[tuple[float, str], CellResult] = {}
     for idx, noise in enumerate(config.noise_levels):
         block = raw[idx * config.n_functions : (idx + 1) * config.n_functions]
@@ -229,5 +341,11 @@ def run_sweep(
                 errors=errors,
                 seconds=seconds,
                 failures=failures,
+                functions=[r[name][3] for r in block],
             )
-    return SweepResult(config=config, cells=cells)
+    return SweepResult(
+        config=config,
+        cells=cells,
+        stage_seconds=stages.seconds,
+        engine_failures=engine_failures,
+    )

@@ -193,18 +193,45 @@ class Sequential:
         buffer.seek(0)
         return Sequential.load(buffer)
 
+    @staticmethod
+    def _checkpoint_path(path: "str | Path | io.BytesIO") -> "Path | io.BytesIO":
+        """Normalize a checkpoint path to carry the ``.npz`` suffix.
+
+        ``np.savez`` silently appends ``.npz`` to suffix-less file names, so
+        without normalization ``save("model")`` writes ``model.npz`` while
+        ``load("model")`` looks for ``model`` and fails. Both directions
+        normalize identically, making the round-trip path-stable.
+        """
+        if isinstance(path, (str, Path)):
+            path = Path(path)
+            if path.suffix != ".npz":
+                path = path.with_name(path.name + ".npz")
+        return path
+
     def save(self, path: "str | Path | io.BytesIO") -> None:
-        """Save architecture + weights into one ``.npz`` file."""
+        """Save architecture + weights into one ``.npz`` file.
+
+        A string/path target without an ``.npz`` suffix is stored as
+        ``<path>.npz``; :meth:`load` applies the same normalization, so the
+        exact argument given here always loads back.
+        """
         spec = json.dumps([layer.spec() for layer in self.layers])
         arrays = {
             f"w{i}": w for i, w in enumerate(self.get_weights())
         }
-        np.savez(path, spec=np.frombuffer(spec.encode(), dtype=np.uint8), **arrays)
+        np.savez(
+            self._checkpoint_path(path),
+            spec=np.frombuffer(spec.encode(), dtype=np.uint8),
+            **arrays,
+        )
 
     @classmethod
     def load(cls, path: "str | Path | io.BytesIO") -> "Sequential":
         """Rebuild a network from :meth:`save` output."""
-        with np.load(path) as data:
+        normalized = cls._checkpoint_path(path)
+        if isinstance(normalized, Path) and not normalized.exists() and Path(path).exists():
+            normalized = Path(path)  # pre-normalization checkpoint from elsewhere
+        with np.load(normalized) as data:
             spec = json.loads(bytes(data["spec"]).decode())
             weights = [data[f"w{i}"] for i in range(len(data.files) - 1)]
         layers: list[Layer] = []

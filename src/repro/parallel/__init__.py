@@ -1,5 +1,21 @@
 """Process-parallel execution of the synthetic sweeps."""
 
-from repro.parallel.pool import parallel_map, resolve_processes
+from repro.parallel.engine import (
+    EngineConfig,
+    Progress,
+    TaskError,
+    TaskFailure,
+    run_tasks,
+)
+from repro.parallel.pool import parallel_map, pool_context, resolve_processes
 
-__all__ = ["parallel_map", "resolve_processes"]
+__all__ = [
+    "EngineConfig",
+    "Progress",
+    "TaskError",
+    "TaskFailure",
+    "parallel_map",
+    "pool_context",
+    "resolve_processes",
+    "run_tasks",
+]

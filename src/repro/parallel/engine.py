@@ -1,0 +1,314 @@
+"""Fault-tolerant chunked parallel execution -- the sweep engine.
+
+The synthetic sweeps dispatch up to 100 000 independent modeling tasks per
+cell. A bare ``Pool.map`` handles the happy path but fails the operational
+requirements of runs that take hours: a single flaky task aborts the whole
+sweep without saying *which* task died, a hung worker hangs the sweep
+forever, and there is no visibility into progress. This engine keeps the
+strict determinism contract of :mod:`repro.parallel.pool` (pre-spawned
+per-task RNGs, results reassembled in task order, bit-identical serial and
+parallel runs) and adds:
+
+* **Failure identity** -- a task that raises is reported as a
+  :class:`TaskError` carrying the task's index, its ``repr``, and the
+  worker-side traceback, instead of an anonymous pool crash.
+* **Bounded retries** -- transient failures are re-submitted up to
+  ``max_retries`` times before the engine gives up.
+* **Timeout degradation** -- with ``chunk_timeout`` set, a sweep whose
+  workers stop producing results does not hang: every task still
+  outstanding is marked as a :class:`TaskFailure` in its result slot and
+  the pool is torn down, so callers can aggregate partial results
+  (mark-failed-and-continue). Timeouts never raise; they degrade.
+* **Progress** -- a lightweight callback receives a :class:`Progress`
+  snapshot (completed/failed/total counts, elapsed time, throughput) after
+  every chunk, suitable for terminal status lines.
+
+Chunks run through ``imap_unordered`` so a slow chunk never blocks
+completed ones from being collected; the reassembly layer writes each
+result into its task-index slot, which restores task order regardless of
+scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.parallel.pool import pool_context, resolve_processes
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution policy of one :func:`run_tasks` call.
+
+    ``processes=None`` defers to ``REPRO_PROCS`` (see
+    :func:`repro.parallel.pool.resolve_processes`). ``chunksize=None``
+    targets four chunks per worker. ``max_retries`` bounds how often a
+    failing task is re-submitted before it counts as failed.
+    ``chunk_timeout`` (seconds) bounds how long the engine waits for the
+    *next* chunk to complete before declaring the pool stuck; it is a
+    liveness guard for the process pool and is therefore not enforced on
+    the in-process serial path. ``on_error`` selects what happens to a task
+    that still fails after all retries: ``"raise"`` aborts with a
+    :class:`TaskError`, ``"mark"`` records a :class:`TaskFailure` in the
+    task's result slot and continues.
+    """
+
+    processes: "int | None" = None
+    chunksize: "int | None" = None
+    max_retries: int = 1
+    chunk_timeout: "float | None" = None
+    on_error: str = "raise"
+    start_method: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise ValueError("chunksize must be positive")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive")
+        if self.on_error not in ("raise", "mark"):
+            raise ValueError(f"on_error must be 'raise' or 'mark', got {self.on_error!r}")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Failure marker stored in a task's result slot under ``on_error='mark'``.
+
+    ``timed_out`` distinguishes tasks abandoned by the chunk-timeout guard
+    (their true state is unknown; the worker may be hung) from tasks whose
+    function raised (``error``/``traceback`` carry the worker-side detail).
+    """
+
+    index: int
+    error: str
+    traceback: str = ""
+    attempts: int = 1
+    timed_out: bool = False
+
+
+class TaskError(RuntimeError):
+    """A task failed after exhausting its retries; identifies the task."""
+
+    def __init__(self, index: int, item: Any, error: str, tb: str = "", attempts: int = 1):
+        self.index = index
+        self.item = item
+        self.error = error
+        self.task_traceback = tb
+        self.attempts = attempts
+        item_repr = repr(item)
+        if len(item_repr) > 120:
+            item_repr = item_repr[:117] + "..."
+        detail = f"\n--- worker traceback ---\n{tb}" if tb else ""
+        super().__init__(
+            f"task {index} ({item_repr}) failed after {attempts} attempt(s): {error}{detail}"
+        )
+
+
+@dataclass(frozen=True)
+class Progress:
+    """Snapshot handed to the progress callback after every chunk."""
+
+    completed: int
+    failed: int
+    retried: int
+    total: int
+    elapsed: float
+
+    @property
+    def done(self) -> int:
+        return self.completed + self.failed
+
+    @property
+    def throughput(self) -> float:
+        """Finished tasks per second of wall-clock time."""
+        return self.done / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class _RunState:
+    """Mutable per-run counters feeding the progress callback."""
+
+    def __init__(self, total: int, progress: "Callable[[Progress], None] | None"):
+        self.total = total
+        self.progress = progress
+        self.completed = 0
+        self.failed = 0
+        self.retried = 0
+        self.started = time.perf_counter()
+
+    def emit(self) -> None:
+        if self.progress is not None:
+            self.progress(
+                Progress(
+                    completed=self.completed,
+                    failed=self.failed,
+                    retried=self.retried,
+                    total=self.total,
+                    elapsed=time.perf_counter() - self.started,
+                )
+            )
+
+
+# ----------------------------------------------------------------- worker side
+_WORKER: dict = {}
+
+
+def _init_engine_worker(fn, initializer, initargs) -> None:
+    _WORKER["fn"] = fn
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_chunk(chunk: "list[tuple[int, Any]]") -> "list[tuple[int, bool, Any, Any]]":
+    """Run one chunk of ``(index, item)`` tasks; never raises.
+
+    Exceptions are captured per task as ``(message, traceback)`` string
+    pairs so the records stay picklable no matter what the task raised.
+    """
+    fn = _WORKER["fn"]
+    records: list[tuple[int, bool, Any, Any]] = []
+    for index, item in chunk:
+        try:
+            records.append((index, True, fn(item), None))
+        except Exception as exc:
+            records.append((index, False, None, (_describe(exc), traceback.format_exc())))
+    return records
+
+
+# ----------------------------------------------------------------- driver side
+def run_tasks(
+    fn: Callable[[T], R],
+    items: "Sequence[T] | Iterable[T]",
+    config: "EngineConfig | None" = None,
+    initializer: "Callable[..., None] | None" = None,
+    initargs: tuple = (),
+    progress: "Callable[[Progress], None] | None" = None,
+) -> "list[R | TaskFailure]":
+    """Map ``fn`` over ``items`` under the engine's fault-tolerance policy.
+
+    Results keep the order of ``items``. With one worker (or one item) the
+    map runs in-process after calling ``initializer`` locally -- the same
+    code path the pool workers execute, so serial and parallel runs of
+    deterministic tasks are bit-identical.
+    """
+    config = config or EngineConfig()
+    items = list(items)
+    state = _RunState(len(items), progress)
+    n_procs = resolve_processes(config.processes)
+    if n_procs <= 1 or len(items) <= 1:
+        return _run_serial(fn, items, config, initializer, initargs, state)
+    return _run_pool(fn, items, config, initializer, initargs, n_procs, state)
+
+
+def _run_serial(fn, items, config, initializer, initargs, state):
+    if initializer is not None:
+        initializer(*initargs)
+    results: list = []
+    for index, item in enumerate(items):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                results.append(fn(item))
+                state.completed += 1
+                break
+            except Exception as exc:
+                if attempts <= config.max_retries:
+                    state.retried += 1
+                    continue
+                if config.on_error == "raise":
+                    raise TaskError(
+                        index, item, _describe(exc), traceback.format_exc(), attempts
+                    ) from exc
+                results.append(
+                    TaskFailure(index, _describe(exc), traceback.format_exc(), attempts)
+                )
+                state.failed += 1
+                break
+        state.emit()
+    return results
+
+
+def _collect_round(pool, pending, chunksize, timeout, results, state):
+    """Submit ``pending`` tasks and collect one round of chunk results.
+
+    Returns ``(failed, missing)``: tasks whose function raised (retry
+    candidates, with their error records) and tasks whose chunks never came
+    back before ``timeout`` (only non-empty when the timeout guard fired).
+    """
+    chunks = [pending[i : i + chunksize] for i in range(0, len(pending), chunksize)]
+    failed: list[tuple[int, Any, tuple[str, str]]] = []
+    done: set[int] = set()
+    iterator = pool.imap_unordered(_run_chunk, chunks)
+    for _ in range(len(chunks)):
+        try:
+            records = iterator.next(timeout) if timeout is not None else next(iterator)
+        except multiprocessing.TimeoutError:
+            missing = [(index, item) for index, item in pending if index not in done]
+            return failed, missing
+        for index, ok, value, error in records:
+            done.add(index)
+            if ok:
+                results[index] = value
+                state.completed += 1
+            else:
+                failed.append((index, None, error))
+        state.emit()
+    return failed, []
+
+
+def _run_pool(fn, items, config, initializer, initargs, n_procs, state):
+    chunksize = config.chunksize or max(1, math.ceil(len(items) / (n_procs * 4)))
+    ctx = pool_context(config.start_method)
+    results: list = [None] * len(items)
+    pending: list[tuple[int, Any]] = list(enumerate(items))
+    attempt = 1
+    with ctx.Pool(n_procs, initializer=_init_engine_worker, initargs=(fn, initializer, initargs)) as pool:
+        while True:
+            failed, missing = _collect_round(
+                pool, pending, chunksize, config.chunk_timeout, results, state
+            )
+            if missing:
+                # The pool stopped producing results: mark everything still
+                # outstanding (including this round's raise-failures, which
+                # can no longer be retried) and tear the pool down so hung
+                # workers cannot block interpreter exit.
+                for index, _, (error, tb) in failed:
+                    results[index] = TaskFailure(index, error, tb, attempt)
+                    state.failed += 1
+                for index, _ in missing:
+                    results[index] = TaskFailure(
+                        index,
+                        f"no result within chunk_timeout={config.chunk_timeout:g}s",
+                        attempts=attempt,
+                        timed_out=True,
+                    )
+                    state.failed += 1
+                state.emit()
+                pool.terminate()
+                return results
+            if failed and attempt <= config.max_retries:
+                state.retried += len(failed)
+                pending = [(index, items[index]) for index, _, _ in failed]
+                attempt += 1
+                continue
+            for index, _, (error, tb) in failed:
+                if config.on_error == "raise":
+                    raise TaskError(index, items[index], error, tb, attempt)
+                results[index] = TaskFailure(index, error, tb, attempt)
+                state.failed += 1
+            if failed:
+                state.emit()
+            return results

@@ -1,0 +1,79 @@
+"""Bounded LRU caching with hit/miss accounting.
+
+Long sweeps touch many distinct adaptation tasks and kernels; unbounded
+memoization grows memory for the lifetime of the process. This cache keeps
+the most recently used entries, evicts the oldest beyond ``maxsize``, and
+counts hits/misses/evictions so the sweep timing report can show whether a
+cache is earning its memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+class LRUCache:
+    """A dict-like mapping with least-recently-used eviction.
+
+    Supports the subset of the ``dict`` interface the modelers use
+    (``get``, item assignment, ``in``, ``len``, ``clear``), so a plain
+    ``dict`` can be swapped in transparently where boundedness is not
+    needed. ``get`` counts a hit or miss and refreshes recency;
+    ``__contains__`` is a pure peek and affects neither.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._data:
+            value = self._data.pop(key)
+            self._data[key] = value  # re-insert = most recently used
+            self.hits += 1
+            return value
+        self.misses += 1
+        return default
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            del self._data[key]
+        elif len(self._data) >= self.maxsize:
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            self.evictions += 1
+        self._data[key] = value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(maxsize={self.maxsize}, size={len(self._data)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

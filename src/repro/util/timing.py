@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator, Mapping
 
 
 @dataclass
@@ -44,3 +46,38 @@ class Timer:
     def reset(self) -> None:
         self.elapsed = 0.0
         self._started = None
+
+
+class StageTimer:
+    """Accumulates wall-clock time per named pipeline stage.
+
+    Used by the sweep engine integration to attribute a sweep's runtime to
+    its stages (synthesize / classify / fit / ...). Stage dictionaries from
+    parallel workers are combined with :meth:`merge`.
+
+    >>> stages = StageTimer()
+    >>> with stages.time("fit"):
+    ...     pass
+    >>> set(stages.seconds) == {"fit"}
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+
+    def merge(self, other: "Mapping[str, float]") -> None:
+        """Add another run's per-stage seconds (e.g. from a pool worker)."""
+        for stage, seconds in other.items():
+            self.add(stage, seconds)

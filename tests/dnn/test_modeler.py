@@ -30,6 +30,79 @@ class TestClassification:
             DNNModeler(top_k=0)
 
 
+class TestBatchedClassification:
+    def test_batch_matches_per_kernel(self, tiny_network, clean_experiment_1p, noisy_experiment_1p):
+        """One stacked forward pass must select the same candidates as
+        per-kernel classification."""
+        batched = DNNModeler(network=tiny_network, use_domain_adaptation=False)
+        single = DNNModeler(network=tiny_network, use_domain_adaptation=False)
+        kernels = [clean_experiment_1p.only_kernel(), noisy_experiment_1p.only_kernel()]
+        batch = batched.classify_batch(kernels, 1)
+        for kernel, candidates in zip(kernels, batch):
+            assert candidates == single.classify_lines(kernel, 1, tiny_network)
+
+    def test_batch_primes_candidate_cache(self, modeler, clean_experiment_1p):
+        kernel = clean_experiment_1p.only_kernel()
+        modeler.classify_batch([kernel], 1)
+        hits_before = modeler._candidate_cache.hits
+        modeler.classify_lines(kernel, 1, modeler.generic_network)
+        assert modeler._candidate_cache.hits == hits_before + 1
+
+    def test_encoding_cached_per_kernel(self, modeler, clean_experiment_1p):
+        kernel = clean_experiment_1p.only_kernel()
+        first = modeler.encode_kernel(kernel, 1)
+        second = modeler.encode_kernel(kernel, 1)
+        assert first is second
+        assert modeler._encoding_cache.hits >= 1
+
+    def test_unencodable_kernel_yields_none(self, modeler, clean_experiment_1p):
+        from repro.experiment.experiment import Experiment
+
+        empty = Experiment(["p"]).create_kernel("empty")
+        good = clean_experiment_1p.only_kernel()
+        batch = modeler.classify_batch([empty, good], 1)
+        assert batch[0] is None
+        assert batch[1] is not None
+
+    def test_cache_stats_exposed(self, modeler, clean_experiment_1p):
+        modeler.classify_batch([clean_experiment_1p.only_kernel()], 1)
+        stats = modeler.cache_stats()
+        assert set(stats) == {"adaptation", "encoding", "candidates"}
+        assert stats["candidates"]["size"] == 1
+
+    def test_reset_caches(self, modeler, clean_experiment_1p):
+        modeler.classify_batch([clean_experiment_1p.only_kernel()], 1)
+        modeler.reset_caches()
+        assert modeler.cache_stats()["candidates"]["size"] == 0
+        assert modeler.cache_stats()["encoding"]["size"] == 0
+
+
+class TestAdaptationCacheBound:
+    def test_adapted_networks_evicted_beyond_bound(self, tiny_network, clean_experiment_1p, clean_experiment_2p):
+        m = DNNModeler(
+            network=tiny_network,
+            use_domain_adaptation=True,
+            adaptation_samples_per_class=5,
+            adaptation_cache_size=1,
+        )
+        m.model_experiment(clean_experiment_1p, rng=0)
+        m.model_experiment(clean_experiment_2p, rng=0)
+        assert len(m._adapted) == 1  # bounded: the older task was evicted
+        assert m._adapted.evictions == 1
+
+    def test_adaptation_hits_counted(self, tiny_network, clean_experiment_2p):
+        m = DNNModeler(
+            network=tiny_network,
+            use_domain_adaptation=True,
+            adaptation_samples_per_class=5,
+        )
+        m.model_experiment(clean_experiment_2p, rng=0)
+        m.model_experiment(clean_experiment_2p, rng=0)
+        stats = m.cache_stats()["adaptation"]
+        assert stats["hits"] >= 1
+        assert stats["misses"] >= 1
+
+
 class TestModelKernel:
     def test_single_parameter_result(self, modeler, clean_experiment_1p):
         result = modeler.model_kernel(clean_experiment_1p.only_kernel(), rng=0)

@@ -132,6 +132,34 @@ class TestCheckpoint:
         loaded = Sequential.load(path)
         assert repr(loaded) == repr(net)
 
+    def test_suffixless_path_roundtrip(self, tmp_path):
+        """``save`` to a string path without ``.npz`` must load back from
+        the same path (NumPy silently appends the suffix on write)."""
+        net = small_net()
+        path = str(tmp_path / "checkpoint")
+        net.save(path)
+        assert (tmp_path / "checkpoint.npz").exists()
+        loaded = Sequential.load(path)
+        assert repr(loaded) == repr(net)
+
+    def test_foreign_suffix_roundtrip(self, tmp_path):
+        net = small_net()
+        path = str(tmp_path / "net.ckpt")
+        net.save(path)
+        assert (tmp_path / "net.ckpt.npz").exists()
+        loaded = Sequential.load(path)
+        assert repr(loaded) == repr(net)
+
+    def test_load_pre_normalization_checkpoint(self, tmp_path):
+        """A suffix-less file written by other tools still loads."""
+        import shutil
+
+        net = small_net()
+        net.save(tmp_path / "net.npz")
+        shutil.move(tmp_path / "net.npz", tmp_path / "legacy")
+        loaded = Sequential.load(tmp_path / "legacy")
+        assert repr(loaded) == repr(net)
+
     def test_copy_is_independent(self):
         net = small_net()
         clone = net.copy()

@@ -1,9 +1,11 @@
+import multiprocessing
 import os
 
 import numpy as np
 import pytest
 
-from repro.parallel.pool import parallel_map, resolve_processes
+from repro.parallel import pool
+from repro.parallel.pool import parallel_map, pool_context, resolve_processes
 
 
 def square(x):
@@ -47,6 +49,36 @@ class TestResolveProcesses:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             resolve_processes(-2)
+
+    def test_malformed_env_named_in_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCS", "four")
+        with pytest.raises(ValueError, match="REPRO_PROCS.*'four'.*auto"):
+            resolve_processes()
+
+
+class TestPoolContext:
+    def test_prefers_fork_when_available(self):
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert pool_context().get_start_method() == "fork"
+
+    def test_falls_back_without_fork(self, monkeypatch):
+        """Without fork the platform default context is used as-is."""
+        sentinel = object()
+        calls = []
+
+        def fake_get_context(method=None):
+            calls.append(method)
+            return sentinel
+
+        monkeypatch.setattr(
+            pool.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        monkeypatch.setattr(pool.multiprocessing, "get_context", fake_get_context)
+        assert pool_context() is sentinel
+        assert calls == [None]  # asked for the default, never for "fork"
+
+    def test_explicit_start_method_honored(self):
+        assert pool_context("spawn").get_start_method() == "spawn"
 
 
 class TestParallelMap:

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.util.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_get_set_roundtrip(self):
+        cache = LRUCache(4)
+        cache["a"] = 1
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(4)
+        cache["a"] = 1
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_contains_is_a_pure_peek(self):
+        cache = LRUCache(4)
+        cache["a"] = 1
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache.get("a")  # refresh "a"; "b" is now the oldest
+        cache["c"] = 3
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_overwrite_does_not_evict(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"] = 10
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_clear_resets_counters(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_stats(self):
+        cache = LRUCache(3)
+        cache["a"] = 1
+        cache.get("a")
+        stats = cache.stats()
+        assert stats == {"hits": 1, "misses": 0, "evictions": 0, "size": 1, "maxsize": 3}
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
