@@ -28,6 +28,7 @@ from repro.dnn.modeler import DNNModeler
 from repro.dnn.pretrained import load_or_pretrain
 from repro.evaluation.sweep import SweepConfig, run_sweep
 from repro.regression.modeler import RegressionModeler
+from repro.util.artifacts import atomic_write_text
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -122,7 +123,7 @@ def record_table():
         RESULTS_DIR.mkdir(exist_ok=True)
         safe = "".join(c if c.isalnum() else "_" for c in name.lower())
         safe = "_".join(filter(None, safe.split("_")))
-        (RESULTS_DIR / f"{safe}.txt").write_text(table + "\n")
+        atomic_write_text(RESULTS_DIR / f"{safe}.txt", table + "\n")
 
     return _record
 

@@ -19,7 +19,6 @@ count it was obtained on.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -29,6 +28,7 @@ import numpy as np
 from repro.dnn.modeler import DNNModeler
 from repro.evaluation.sweep import SweepConfig, run_sweep
 from repro.regression.modeler import RegressionModeler
+from repro.util.artifacts import atomic_write_json
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -95,7 +95,7 @@ def test_engine_speedup_vs_seed_dispatch(generic_network, record_table, benchmar
         "bit_identical": True,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_sweep_engine.json").write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(RESULTS_DIR / "BENCH_sweep_engine.json", payload)
 
     lines = [
         f"{'path':<12} {'procs':>5} {'batch':>5} {'seconds':>9}",

@@ -9,8 +9,9 @@ import numpy as np
 
 from repro.casestudies.base import SimulatedApplication
 from repro.noise.estimation import NoiseSummary, summarize_noise
-from repro.parallel.engine import EngineConfig, Progress, run_tasks
+from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
 from repro.regression.modeler import ModelResult
+from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
 from repro.util.seeding import as_generator, spawn_generators
 from repro.util.timing import StageTimer, Timer
 
@@ -97,6 +98,8 @@ def run_case_study(
     processes: "int | None" = None,
     engine: "EngineConfig | None" = None,
     progress: "Callable[[Progress], None] | None" = None,
+    run_dir: "str | None" = None,
+    resume: bool = False,
 ) -> CaseStudyResult:
     """Simulate the campaign and evaluate every modeler on it.
 
@@ -112,7 +115,27 @@ def run_case_study(
     / ``REPRO_PROCS``) produce identical models. The default stays serial;
     DNN classification inside ``model_experiment`` is batched over all
     kernels either way.
+
+    ``run_dir`` journals each modeler's finished results (domain-adaptation
+    retraining is the expensive part here); after a crash, ``resume=True``
+    with the same application/seed/modelers replays journaled modelers and
+    re-runs only the missing ones, bit-identically. The campaign simulation
+    is recomputed on resume -- it is deterministic given the seed and cheap
+    next to modeling.
     """
+    journal = None
+    if run_dir is not None:
+        fingerprint = config_fingerprint(
+            application.name, rng_fingerprint(rng), tuple(sorted(modelers))
+        )
+        journal = RunManifest.open(
+            run_dir,
+            fingerprint,
+            resume=resume,
+            meta={"kind": "casestudy", "application": application.name},
+        )
+    elif resume:
+        raise ValueError("resume=True requires run_dir")
     gen = as_generator(rng)
     stages = StageTimer()
     campaign_rng, *modeler_rngs = spawn_generators(gen, len(modelers) + 1)
@@ -139,12 +162,15 @@ def run_case_study(
             initializer=_init_driver_worker,
             initargs=(modeling, modelers),
             progress=progress,
+            journal=journal,
         )
 
     outcomes: list[KernelOutcome] = []
     total_seconds: dict[str, float] = {}
     eval_array = application.evaluation_point.as_array()
-    for name, results, seconds in raw:
+    # Under on_error='mark' a crashed modeler degrades to a missing entry
+    # (its name absent from the result) instead of aborting the study.
+    for name, results, seconds in (r for r in raw if not isinstance(r, TaskFailure)):
         total_seconds[name] = seconds
         for kernel_name, result in results.items():
             outcomes.append(

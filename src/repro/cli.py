@@ -21,12 +21,17 @@ from pathlib import Path
 from repro.util.tables import render_table
 
 
-def _load_experiment(path: str):
-    from repro.experiment.io import load_json, load_text
+def _load_experiment(path: str, keep_going: bool = False, manifest=None):
+    from repro.experiment.io import load_experiment
 
-    if Path(path).suffix.lower() == ".json":
-        return load_json(path)
-    return load_text(path)
+    experiment, quarantined = load_experiment(path, keep_going=keep_going, manifest=manifest)
+    for record in quarantined:
+        print(
+            f"warning: quarantined kernel {record.kernel!r}: {record.reason}"
+            + (f" ({record.location})" if record.location else ""),
+            file=sys.stderr,
+        )
+    return experiment
 
 
 def _make_modeler(method: str, seed: int):
@@ -46,7 +51,7 @@ def _make_modeler(method: str, seed: int):
 def _cmd_noise(args: argparse.Namespace) -> int:
     from repro.noise.estimation import summarize_noise
 
-    experiment = _load_experiment(args.experiment)
+    experiment = _load_experiment(args.experiment, keep_going=args.keep_going)
     rows = []
     for kernel in experiment.kernels:
         summary = summarize_noise(kernel)
@@ -73,7 +78,18 @@ def _cmd_noise(args: argparse.Namespace) -> int:
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
-    experiment = _load_experiment(args.experiment)
+    manifest = None
+    if args.run_dir:
+        from repro.run.manifest import RunManifest, config_fingerprint
+
+        manifest = RunManifest.open(
+            args.run_dir,
+            config_fingerprint(str(args.experiment), args.method, args.seed),
+            meta={"kind": "model", "experiment": str(args.experiment)},
+        )
+    experiment = _load_experiment(
+        args.experiment, keep_going=args.keep_going, manifest=manifest
+    )
     modeler = _make_modeler(args.method, args.seed)
     results = modeler.model_experiment(experiment, rng=args.seed)
     names = list(experiment.parameters)
@@ -146,6 +162,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         rng=args.seed,
         engine=engine,
         progress=_progress_printer() if args.progress else None,
+        run_dir=args.resume or args.run_dir,
+        resume=args.resume is not None,
     )
     print(format_accuracy_table(result, title=f"Model accuracy, m={args.params} (Fig. 3)"))
     print()
@@ -245,7 +263,12 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         "adaptive": AdaptiveModeler(),
     }
     result = run_case_study(
-        application, modelers, rng=args.seed, processes=args.processes
+        application,
+        modelers,
+        rng=args.seed,
+        processes=args.processes,
+        run_dir=args.resume or args.run_dir,
+        resume=args.resume is not None,
     )
     print(f"== {result.application} ==")
     print(f"noise (Fig. 5): {result.noise.format()}")
@@ -279,8 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    keep_going_help = "quarantine kernels with invalid values instead of aborting"
+
     p_noise = sub.add_parser("noise", help="estimate measurement noise")
     p_noise.add_argument("experiment", help="experiment file (.json or Extra-P text)")
+    p_noise.add_argument("--keep-going", action="store_true", help=keep_going_help)
     p_noise.set_defaults(func=_cmd_noise)
 
     p_model = sub.add_parser("model", help="create performance models")
@@ -291,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="adaptive",
     )
     p_model.add_argument("--seed", type=int, default=0)
+    p_model.add_argument("--keep-going", action="store_true", help=keep_going_help)
+    p_model.add_argument(
+        "--run-dir", default=None,
+        help="record a run manifest (incl. quarantined kernels) in this directory",
+    )
     p_model.set_defaults(func=_cmd_model)
 
     p_pre = sub.add_parser("pretrain", help="pretrain and cache the generic network")
@@ -325,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print engine throughput to stderr"
     )
     p_eval.add_argument("--seed", type=int, default=0)
+    g_eval = p_eval.add_mutually_exclusive_group()
+    g_eval.add_argument(
+        "--run-dir", default=None,
+        help="journal per-task results here so a crashed sweep can be resumed",
+    )
+    g_eval.add_argument(
+        "--resume", metavar="RUN_DIR", default=None,
+        help="resume a journaled sweep, replaying completed tasks bit-identically",
+    )
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_gen = sub.add_parser("generate", help="synthesize an experiment file")
@@ -363,6 +403,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("name", choices=("kripke", "fastest", "relearn"))
     p_case.add_argument("--processes", type=int, default=None)
     p_case.add_argument("--seed", type=int, default=0)
+    g_case = p_case.add_mutually_exclusive_group()
+    g_case.add_argument(
+        "--run-dir", default=None,
+        help="journal per-modeler results here so a crashed study can be resumed",
+    )
+    g_case.add_argument(
+        "--resume", metavar="RUN_DIR", default=None,
+        help="resume a journaled case study, replaying completed modelers",
+    )
     p_case.set_defaults(func=_cmd_casestudy)
 
     p_repro = sub.add_parser(

@@ -97,6 +97,8 @@ def adapt_network(
     samples_per_class: int = DEFAULT_SAMPLES_PER_CLASS,
     learning_rate: float = 0.0005,
     batch_size: int = 256,
+    checkpoint_path=None,
+    checkpoint_every: int = 1,
 ) -> Sequential:
     """Return a copy of ``network`` retrained for ``task``.
 
@@ -104,6 +106,10 @@ def adapt_network(
     the next task). The retraining learning rate defaults to a quarter of
     the pretraining rate -- domain adaptation should refine, not overwrite,
     the pretrained representation.
+
+    ``checkpoint_path`` makes the retraining epochs crash-safe the same way
+    as pretraining: the copy checkpoints there every ``checkpoint_every``
+    epochs and self-resumes from the same file on the next call.
     """
     gen = as_generator(rng)
     x, y = generate_training_set(task.training_config(samples_per_class), gen)
@@ -115,5 +121,8 @@ def adapt_network(
         batch_size=batch_size,
         optimizer=AdaMax(learning_rate),
         rng=gen,
+        checkpoint_every=checkpoint_every if checkpoint_path is not None else None,
+        checkpoint_path=checkpoint_path,
+        resume_from=checkpoint_path,
     )
     return adapted

@@ -40,8 +40,18 @@ def pretrain_network(
     config: "PretrainConfig | None" = None,
     rng=None,
     return_history: bool = False,
+    checkpoint_path: "Path | str | None" = None,
+    checkpoint_every: int = 1,
 ) -> "Sequential | tuple[Sequential, TrainingHistory]":
-    """Pretrain a fresh generic network (no cache involvement)."""
+    """Pretrain a fresh generic network (no cache involvement).
+
+    With ``checkpoint_path`` set, training checkpoints there after every
+    ``checkpoint_every`` epochs and self-resumes from the same file, so a
+    killed pretraining run continues where it stopped -- and, because the
+    RNG state is checkpointed too, finishes with bit-identical weights.
+    Note the training-set generation and network init always replay from
+    the seed; only the epoch loop resumes.
+    """
     config = config or PretrainConfig.default()
     gen = as_generator(config.seed if rng is None else rng)
     x, y = generate_training_set(pretraining_set_config(config), gen)
@@ -53,6 +63,9 @@ def pretrain_network(
         batch_size=config.batch_size,
         optimizer=AdaMax(config.learning_rate),
         rng=gen,
+        checkpoint_every=checkpoint_every if checkpoint_path is not None else None,
+        checkpoint_path=checkpoint_path,
+        resume_from=checkpoint_path,
     )
     return (network, history) if return_history else network
 
@@ -71,9 +84,11 @@ def load_or_pretrain(
     path = directory / f"generic-{config.network.name}-{config.cache_key()}.npz"
     if path.exists():
         return Sequential.load(path)
-    network = pretrain_network(config)
     directory.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".tmp.npz")
-    network.save(tmp)
-    os.replace(tmp, path)
+    # Self-resuming: a run killed mid-pretraining left this checkpoint
+    # behind, and the next call picks it up instead of starting over.
+    ckpt = path.with_suffix(".ckpt")
+    network = pretrain_network(config, checkpoint_path=ckpt)
+    network.save(path)  # atomic (temp file + rename)
+    ckpt.unlink(missing_ok=True)
     return network

@@ -24,6 +24,7 @@ from repro.dnn.pretrained import load_or_pretrain
 from repro.evaluation.figures import format_accuracy_table, format_power_table
 from repro.evaluation.sweep import SweepConfig, SweepResult, run_sweep
 from repro.regression.modeler import RegressionModeler
+from repro.util.artifacts import atomic_write_text
 from repro.util.seeding import as_generator, spawn_generators
 from repro.util.tables import render_table
 from repro.util.timing import Timer
@@ -149,7 +150,7 @@ class ReproductionReport:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / "report.md"
-        path.write_text(self.to_markdown())
+        atomic_write_text(path, self.to_markdown())
         return path
 
 

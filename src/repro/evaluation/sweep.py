@@ -28,6 +28,7 @@ from repro.evaluation.predictive_power import relative_prediction_errors
 from repro.experiment.experiment import Kernel
 from repro.noise.injection import UniformNoise
 from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
+from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
 from repro.synthesis.evaluation_points import evaluation_points
 from repro.synthesis.functions import (
     random_multi_parameter_function,
@@ -274,6 +275,8 @@ def run_sweep(
     processes: "int | None" = None,
     engine: "EngineConfig | None" = None,
     progress: "Callable[[Progress], None] | None" = None,
+    run_dir: "str | None" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run the full sweep through the fault-tolerant engine.
 
@@ -290,9 +293,31 @@ def run_sweep(
     ``SweepResult.engine_failures`` -- instead of aborting or hanging the
     sweep. ``progress`` receives engine :class:`Progress` snapshots, where
     each task is one batch of ``config.batch_size`` functions.
+
+    ``run_dir`` makes the sweep crash-safe: a run manifest is created there
+    and every completed batch is journaled. After a crash (OOM kill,
+    preemption, SIGKILL), calling again with ``resume=True`` and the same
+    configuration/seed replays the journaled batches and computes only the
+    missing ones -- the resulting :class:`SweepResult` is bit-identical to
+    an uninterrupted run because every function carries a pre-spawned RNG
+    keyed by its task index. Resuming with a different configuration or
+    seed is refused (the manifest records a configuration fingerprint).
     """
     if not modelers:
         raise ValueError("at least one modeler is required")
+    journal = None
+    if run_dir is not None:
+        fingerprint = config_fingerprint(
+            config, rng_fingerprint(rng), tuple(sorted(modelers))
+        )
+        journal = RunManifest.open(
+            run_dir,
+            fingerprint,
+            resume=resume,
+            meta={"kind": "sweep", "n_params": config.n_params},
+        )
+    elif resume:
+        raise ValueError("resume=True requires run_dir")
     gen = as_generator(rng)
     tasks: list[tuple[float, np.random.Generator]] = []
     for noise in config.noise_levels:
@@ -314,6 +339,7 @@ def run_sweep(
             initializer=_init_worker,
             initargs=(config, modelers),
             progress=progress,
+            journal=journal,
         )
     raw: list[TaskOutcome] = []
     engine_failures = 0

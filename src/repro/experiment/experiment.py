@@ -113,6 +113,13 @@ class Experiment:
             raise ValueError(f"kernel {kernel.name!r} already exists")
         self._kernels[kernel.name] = kernel
 
+    def remove_kernel(self, name: str) -> Kernel:
+        """Drop and return a kernel (e.g. after it was quarantined)."""
+        try:
+            return self._kernels.pop(name)
+        except KeyError:
+            raise ValueError(f"no kernel named {name!r}") from None
+
     # ---------------------------------------------------------------- access
     @property
     def n_params(self) -> int:

@@ -19,17 +19,64 @@ Two formats are supported:
 
   Each ``DATA`` line carries the repetitions of one point, in ``POINTS``
   order; ``REGION`` starts a new kernel.
+
+Two layers of strictness:
+
+* The per-format loaders (:func:`load_json`, :func:`load_csv`,
+  :func:`load_text`) accept anything structurally valid -- including
+  negative runtimes and ragged repetition counts -- because synthetic and
+  handwritten inputs legitimately use both.
+* :func:`load_experiment` (what the CLI uses) additionally validates every
+  kernel's raw values -- NaN/Inf, negative runtimes, ragged repetition
+  rows -- with errors that name the offending file location. With
+  ``keep_going=True`` a bad kernel is quarantined (dropped and reported,
+  optionally journaled into a run manifest) instead of failing the load.
+
+All savers write atomically (temp file + rename), so a crash mid-save never
+leaves a truncated experiment file behind.
 """
 
 from __future__ import annotations
 
+import io
 import json
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro.experiment.experiment import Experiment, Kernel
+from repro.experiment.experiment import Experiment
 from repro.experiment.measurement import Coordinate, Measurement
+from repro.util.artifacts import atomic_write_text
 
 _JSON_VERSION = 1
+
+
+class ExperimentFormatError(ValueError):
+    """An input file that cannot be parsed or fails validation.
+
+    Messages name the file (and, where possible, the line) so the offending
+    input can be found without re-running under a debugger.
+    """
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One kernel dropped by :func:`load_experiment` under ``keep_going``."""
+
+    kernel: str
+    reason: str
+    location: "str | None" = None
+
+
+@dataclass(frozen=True)
+class _RawKernel:
+    """Parsed-but-unvalidated kernel: raw floats, no ``Measurement`` yet."""
+
+    name: str
+    metric: str
+    location: str  # where the kernel starts, e.g. "file.txt:5"
+    #: ``(location, coordinate, values)`` with repetitions at one coordinate
+    #: already merged (matching :meth:`Kernel.add` semantics).
+    points: "tuple[tuple[str, Coordinate, tuple[float, ...]], ...]"
 
 
 # --------------------------------------------------------------------- JSON
@@ -55,25 +102,75 @@ def to_json_dict(experiment: Experiment) -> dict:
     }
 
 
-def from_json_dict(data: dict) -> Experiment:
-    """Inverse of :func:`to_json_dict`."""
+def _check_json_version(data: dict, path: "str | Path | None") -> None:
     if data.get("version") != _JSON_VERSION:
-        raise ValueError(f"unsupported experiment format version: {data.get('version')!r}")
+        prefix = f"{path}: " if path is not None else ""
+        raise ExperimentFormatError(
+            f"{prefix}unsupported experiment format version: "
+            f"found {data.get('version')!r}, supported {_JSON_VERSION}"
+        )
+
+
+def from_json_dict(data: dict, path: "str | Path | None" = None) -> Experiment:
+    """Inverse of :func:`to_json_dict`.
+
+    ``path`` (optional) is only used to prefix error messages with the
+    originating file.
+    """
+    _check_json_version(data, path)
+    prefix = f"{path}: " if path is not None else ""
     exp = Experiment(data["parameters"])
     for kern_data in data["kernels"]:
         kern = exp.create_kernel(kern_data["name"], kern_data.get("metric", "time"))
-        for meas in kern_data["measurements"]:
-            kern.add(Measurement(Coordinate(*meas["point"]), meas["values"]))
+        for i, meas in enumerate(kern_data["measurements"]):
+            try:
+                kern.add(Measurement(Coordinate(*meas["point"]), meas["values"]))
+            except ValueError as err:
+                raise ExperimentFormatError(
+                    f"{prefix}kernel {kern.name!r}, measurement {i}: {err}"
+                ) from None
     exp.validate()
     return exp
 
 
 def save_json(experiment: Experiment, path: "str | Path") -> None:
-    Path(path).write_text(json.dumps(to_json_dict(experiment), indent=2))
+    atomic_write_text(path, json.dumps(to_json_dict(experiment), indent=2))
 
 
 def load_json(path: "str | Path") -> Experiment:
-    return from_json_dict(json.loads(Path(path).read_text()))
+    return from_json_dict(json.loads(Path(path).read_text()), path=path)
+
+
+def _read_raw_json(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as err:
+        raise ExperimentFormatError(f"{path}:{err.lineno}: invalid JSON: {err.msg}") from None
+    _check_json_version(data, path)
+    kernels = []
+    for kern_data in data["kernels"]:
+        name = kern_data["name"]
+        merged: dict[Coordinate, list[float]] = {}
+        locations: dict[Coordinate, str] = {}
+        for i, meas in enumerate(kern_data["measurements"]):
+            location = f"{path}: kernel {name!r}, measurement {i}"
+            try:
+                coord = Coordinate(*meas["point"])
+            except ValueError as err:
+                raise ExperimentFormatError(f"{location}: {err}") from None
+            locations.setdefault(coord, location)
+            merged.setdefault(coord, []).extend(float(v) for v in meas["values"])
+        kernels.append(
+            _RawKernel(
+                name=name,
+                metric=kern_data.get("metric", "time"),
+                location=f"{path}: kernel {name!r}",
+                points=tuple(
+                    (locations[c], c, tuple(vals)) for c, vals in merged.items()
+                ),
+            )
+        )
+    return list(data["parameters"]), kernels
 
 
 # ---------------------------------------------------------------------- CSV
@@ -81,15 +178,71 @@ def save_csv(experiment: Experiment, path: "str | Path") -> None:
     """Write one row per repetition: ``kernel,metric,<params...>,value``."""
     import csv
 
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["kernel", "metric", *experiment.parameters, "value"])
-        for kern in experiment.kernels:
-            for meas in kern.measurements:
-                for value in meas.values:
-                    writer.writerow(
-                        [kern.name, kern.metric, *[f"{v:g}" for v in meas.coordinate], f"{value:.10g}"]
-                    )
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(["kernel", "metric", *experiment.parameters, "value"])
+    for kern in experiment.kernels:
+        for meas in kern.measurements:
+            for value in meas.values:
+                writer.writerow(
+                    [kern.name, kern.metric, *[f"{v:g}" for v in meas.coordinate], f"{value:.10g}"]
+                )
+    atomic_write_text(path, buffer.getvalue())
+
+
+def _read_raw_csv(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
+    import csv
+
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ExperimentFormatError(f"{path}: empty CSV file") from None
+        if len(header) < 4 or header[0] != "kernel" or header[1] != "metric" or header[-1] != "value":
+            raise ExperimentFormatError(
+                f"{path}: expected header 'kernel,metric,<parameters...>,value', got {header!r}"
+            )
+        parameters = header[2:-1]
+        order: list[str] = []
+        metrics: dict[str, str] = {}
+        first_seen: dict[str, str] = {}
+        merged: dict[str, dict[Coordinate, list[float]]] = {}
+        locations: dict[str, dict[Coordinate, str]] = {}
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            location = f"{path}:{lineno}"
+            if len(row) != len(header):
+                raise ExperimentFormatError(
+                    f"{location}: expected {len(header)} columns, got {len(row)}"
+                )
+            name, metric, *rest = row
+            try:
+                coordinate = Coordinate(*[float(v) for v in rest[:-1]])
+                value = float(rest[-1])
+            except ValueError as err:
+                raise ExperimentFormatError(f"{location}: {err}") from None
+            if name not in metrics:
+                order.append(name)
+                metrics[name] = metric
+                first_seen[name] = location
+                merged[name] = {}
+                locations[name] = {}
+            locations[name].setdefault(coordinate, location)
+            merged[name].setdefault(coordinate, []).append(value)
+    kernels = [
+        _RawKernel(
+            name=name,
+            metric=metrics[name],
+            location=first_seen[name],
+            points=tuple(
+                (locations[name][c], c, tuple(vals)) for c, vals in merged[name].items()
+            ),
+        )
+        for name in order
+    ]
+    return parameters, kernels
 
 
 def load_csv(path: "str | Path") -> Experiment:
@@ -99,35 +252,8 @@ def load_csv(path: "str | Path") -> Experiment:
     rows may appear in any order. Parameter names are taken from the header
     (every column between ``metric`` and ``value``).
     """
-    import csv
-
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path}: empty CSV file") from None
-        if len(header) < 4 or header[0] != "kernel" or header[1] != "metric" or header[-1] != "value":
-            raise ValueError(
-                f"{path}: expected header 'kernel,metric,<parameters...>,value', got {header!r}"
-            )
-        parameters = header[2:-1]
-        experiment = Experiment(parameters)
-        for lineno, row in enumerate(reader, start=2):
-            if not row:
-                continue
-            if len(row) != len(header):
-                raise ValueError(f"{path}:{lineno}: expected {len(header)} columns, got {len(row)}")
-            name, metric, *rest = row
-            coordinate = Coordinate(*[float(v) for v in rest[:-1]])
-            value = float(rest[-1])
-            if name not in experiment.kernel_names:
-                kernel = experiment.create_kernel(name, metric)
-            else:
-                kernel = experiment.kernel(name)
-            kernel.add(Measurement(coordinate, [value]))
-    experiment.validate()
-    return experiment
+    parameters, kernels = _read_raw_csv(path)
+    return _assemble(parameters, kernels, path)
 
 
 # --------------------------------------------------------------------- text
@@ -146,7 +272,7 @@ def save_text(experiment: Experiment, path: "str | Path") -> None:
                 lines.append("DATA " + " ".join(f"{v:.10g}" for v in meas.values))
             else:
                 lines.append("DATA")
-    Path(path).write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def _parse_points(spec: str) -> list[Coordinate]:
@@ -174,14 +300,31 @@ def _parse_points(spec: str) -> list[Coordinate]:
     return coords
 
 
-def load_text(path: "str | Path") -> Experiment:
-    """Parse the Extra-P style text format."""
+def _read_raw_text(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
     parameters: list[str] = []
-    points: list[Coordinate] | None = None
+    points: "list[Coordinate] | None" = None
     metric = "time"
-    experiment: Experiment | None = None
-    kernel: Kernel | None = None
+    kernels: list[_RawKernel] = []
+    current: "list[tuple[str, Coordinate, tuple[float, ...]]] | None" = None
     data_index = 0
+
+    def flush() -> None:
+        nonlocal current
+        if current is None:
+            return
+        # Merge repeated DATA coordinates like Kernel.add would.
+        merged: dict[Coordinate, list[float]] = {}
+        locations: dict[Coordinate, str] = {}
+        for location, coord, values in current:
+            locations.setdefault(coord, location)
+            merged.setdefault(coord, []).extend(values)
+        kernels[-1] = _RawKernel(
+            name=kernels[-1].name,
+            metric=kernels[-1].metric,
+            location=kernels[-1].location,
+            points=tuple((locations[c], c, tuple(vals)) for c, vals in merged.items()),
+        )
+        current = None
 
     for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
         line = raw.strip()
@@ -191,7 +334,7 @@ def load_text(path: "str | Path") -> Experiment:
         keyword = keyword.upper()
         try:
             if keyword == "PARAMETER":
-                if experiment is not None:
+                if kernels:
                     raise ValueError("PARAMETER must precede REGION")
                 parameters.append(rest.strip())
             elif keyword == "POINTS":
@@ -201,24 +344,124 @@ def load_text(path: "str | Path") -> Experiment:
             elif keyword == "REGION":
                 if points is None:
                     raise ValueError("REGION before POINTS")
-                if experiment is None:
-                    experiment = Experiment(parameters)
-                kernel = experiment.create_kernel(rest.strip(), metric)
+                flush()
+                name = rest.strip()
+                if any(k.name == name for k in kernels):
+                    raise ValueError(f"kernel {name!r} already exists")
+                kernels.append(
+                    _RawKernel(name=name, metric=metric, location=f"{path}:{lineno}", points=())
+                )
+                current = []
                 data_index = 0
             elif keyword == "DATA":
-                if kernel is None or points is None:
+                if current is None or points is None:
                     raise ValueError("DATA before REGION")
                 if data_index >= len(points):
                     raise ValueError("more DATA lines than POINTS")
-                values = [float(v) for v in rest.split()]
+                values = tuple(float(v) for v in rest.split())
                 if values:
-                    kernel.add(Measurement(points[data_index], values))
+                    current.append((f"{path}:{lineno}", points[data_index], values))
                 data_index += 1
             else:
                 raise ValueError(f"unknown keyword {keyword!r}")
         except ValueError as err:
-            raise ValueError(f"{path}:{lineno}: {err}") from None
-    if experiment is None:
-        raise ValueError(f"{path}: file defines no REGION")
+            raise ExperimentFormatError(f"{path}:{lineno}: {err}") from None
+    flush()
+    if not kernels:
+        raise ExperimentFormatError(f"{path}: file defines no REGION")
+    return parameters, kernels
+
+
+def load_text(path: "str | Path") -> Experiment:
+    """Parse the Extra-P style text format."""
+    parameters, kernels = _read_raw_text(path)
+    return _assemble(parameters, kernels, path)
+
+
+# ------------------------------------------------- validation and quarantine
+def _assemble(
+    parameters: "list[str]",
+    raw_kernels: "list[_RawKernel]",
+    path: "str | Path",
+    skip: "set[str] | None" = None,
+) -> Experiment:
+    """Build an :class:`Experiment` from raw kernels, skipping quarantined ones."""
+    experiment = Experiment(parameters)
+    for raw in raw_kernels:
+        if skip and raw.name in skip:
+            continue
+        kernel = experiment.create_kernel(raw.name, raw.metric)
+        for location, coord, values in raw.points:
+            try:
+                kernel.add(Measurement(coord, values))
+            except ValueError as err:
+                raise ExperimentFormatError(f"{location}: {err}") from None
     experiment.validate()
     return experiment
+
+
+def _validate_raw_kernel(raw: _RawKernel) -> "QuarantineRecord | None":
+    """First NaN/Inf/negative-value/ragged-repetitions defect, or ``None``."""
+    import math
+
+    for location, _coord, values in raw.points:
+        for value in values:
+            if math.isnan(value) or math.isinf(value):
+                return QuarantineRecord(raw.name, f"non-finite value {value!r}", location)
+            if value < 0:
+                return QuarantineRecord(raw.name, f"negative runtime {value!r}", location)
+    counts = {len(values) for _loc, _coord, values in raw.points}
+    if len(counts) > 1:
+        worst = min(raw.points, key=lambda p: len(p[2]))
+        return QuarantineRecord(
+            raw.name,
+            f"ragged repetition rows: {min(counts)}..{max(counts)} repetitions per point",
+            worst[0],
+        )
+    return None
+
+
+def load_experiment(
+    path: "str | Path",
+    keep_going: bool = False,
+    manifest=None,
+) -> "tuple[Experiment, list[QuarantineRecord]]":
+    """Load *and validate* an experiment file (format chosen by suffix).
+
+    Beyond the structural checks of the per-format loaders, every kernel's
+    raw values must be finite, non-negative, and have the same number of
+    repetitions at every point. A violation raises
+    :class:`ExperimentFormatError` naming the file location -- unless
+    ``keep_going`` is set, in which case the offending kernel is dropped and
+    reported in the returned quarantine list (and recorded into ``manifest``
+    via :meth:`RunManifest.record_quarantine` when one is given).
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        parameters, raw_kernels = _read_raw_json(path)
+    elif suffix == ".csv":
+        parameters, raw_kernels = _read_raw_csv(path)
+    else:
+        parameters, raw_kernels = _read_raw_text(path)
+
+    quarantined: list[QuarantineRecord] = []
+    for raw in raw_kernels:
+        record = _validate_raw_kernel(raw)
+        if record is None:
+            continue
+        if not keep_going:
+            raise ExperimentFormatError(
+                f"{record.location}: kernel {record.kernel!r}: {record.reason} "
+                f"(use --keep-going to quarantine bad kernels and continue)"
+            )
+        quarantined.append(record)
+        if manifest is not None:
+            manifest.record_quarantine(record.kernel, record.reason, record.location)
+    skip = {r.kernel for r in quarantined}
+    if skip and len(skip) == len(raw_kernels):
+        reasons = "; ".join(f"{r.kernel}: {r.reason}" for r in quarantined)
+        raise ExperimentFormatError(
+            f"{path}: every kernel was quarantined, nothing left to model ({reasons})"
+        )
+    return _assemble(parameters, raw_kernels, path, skip=skip), quarantined

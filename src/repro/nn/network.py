@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import io
 import json
+import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -14,7 +15,35 @@ from repro.nn.layers import Dense, Layer
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, softmax
 from repro.nn.metrics import accuracy
 from repro.nn.optimizers import AdaMax, Optimizer
+from repro.util.artifacts import atomic_write_bytes
 from repro.util.seeding import as_generator
+
+_TRAINING_CHECKPOINT_VERSION = 1
+
+
+def save_training_checkpoint(path: "str | Path", payload: dict) -> None:
+    """Atomically persist a mid-training checkpoint (pickle)."""
+    payload = {"version": _TRAINING_CHECKPOINT_VERSION, **payload}
+    atomic_write_bytes(path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def load_training_checkpoint(path: "str | Path") -> "dict | None":
+    """Load a mid-training checkpoint; ``None`` when none exists.
+
+    A missing file means "start fresh", so callers can unconditionally pass
+    their checkpoint path as ``resume_from`` and get self-resuming training.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    payload = pickle.loads(path.read_bytes())
+    version = payload.get("version")
+    if version != _TRAINING_CHECKPOINT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported training-checkpoint version: found {version!r}, "
+            f"supported {_TRAINING_CHECKPOINT_VERSION}"
+        )
+    return payload
 
 
 @dataclass
@@ -79,6 +108,9 @@ class Sequential:
         shuffle: bool = True,
         schedule=None,
         early_stopping_patience: "int | None" = None,
+        checkpoint_every: "int | None" = None,
+        checkpoint_path: "str | Path | None" = None,
+        resume_from: "str | Path | None" = None,
     ) -> TrainingHistory:
         """Mini-batch gradient training.
 
@@ -91,6 +123,15 @@ class Sequential:
         stops training when the validation loss has not improved for that
         many consecutive epochs (requires ``validation``); the best-epoch
         weights are restored on stop.
+
+        ``checkpoint_every=N`` atomically persists a training checkpoint to
+        ``checkpoint_path`` after every N epochs: weights, optimizer
+        moments, the RNG bit-generator state, per-epoch history, and the
+        early-stopping bookkeeping. ``resume_from`` restores such a
+        checkpoint (a missing file silently starts fresh) and continues at
+        the recorded epoch; because the RNG state is restored, an
+        interrupted-and-resumed training run produces bit-identical weights
+        to an uninterrupted one.
         """
         if epochs < 1 or batch_size < 1:
             raise ValueError("epochs and batch_size must be positive")
@@ -99,6 +140,11 @@ class Sequential:
                 raise ValueError("early stopping requires a validation set")
             if early_stopping_patience < 1:
                 raise ValueError("patience must be positive")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be positive")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
         x = np.asarray(x, dtype=np.float32)
         y = np.asarray(y)
         if x.ndim != 2 or x.shape[0] != y.shape[0]:
@@ -111,7 +157,29 @@ class Sequential:
         best_val = np.inf
         best_weights = None
         stale_epochs = 0
-        for epoch in range(epochs):
+        start_epoch = 0
+        if resume_from is not None:
+            checkpoint = load_training_checkpoint(resume_from)
+            if checkpoint is not None:
+                if checkpoint["n_samples"] != n or checkpoint["batch_size"] != batch_size:
+                    raise ValueError(
+                        f"checkpoint {resume_from} was written for "
+                        f"{checkpoint['n_samples']} samples / batch size "
+                        f"{checkpoint['batch_size']}, but this fit has {n} / "
+                        f"{batch_size}: resuming would not be reproducible"
+                    )
+                self.set_weights(checkpoint["weights"])
+                optimizer.load_state_dict(checkpoint["optimizer"])
+                gen.bit_generator.state = checkpoint["rng_state"]
+                history.loss = list(checkpoint["history"]["loss"])
+                history.accuracy = list(checkpoint["history"]["accuracy"])
+                history.val_loss = list(checkpoint["history"]["val_loss"])
+                history.val_accuracy = list(checkpoint["history"]["val_accuracy"])
+                best_val = checkpoint["best_val"]
+                best_weights = checkpoint["best_weights"]
+                stale_epochs = checkpoint["stale_epochs"]
+                start_epoch = int(checkpoint["epoch"])
+        for epoch in range(start_epoch, epochs):
             if schedule is not None:
                 schedule.apply(optimizer, epoch)
             order = gen.permutation(n) if shuffle else np.arange(n)
@@ -149,6 +217,27 @@ class Sequential:
                         stale_epochs += 1
                         if stale_epochs >= early_stopping_patience:
                             break
+            if checkpoint_every is not None and (epoch + 1) % checkpoint_every == 0:
+                save_training_checkpoint(
+                    checkpoint_path,
+                    {
+                        "epoch": epoch + 1,
+                        "n_samples": n,
+                        "batch_size": batch_size,
+                        "weights": self.get_weights(),
+                        "optimizer": optimizer.state_dict(),
+                        "rng_state": gen.bit_generator.state,
+                        "history": {
+                            "loss": list(history.loss),
+                            "accuracy": list(history.accuracy),
+                            "val_loss": list(history.val_loss),
+                            "val_accuracy": list(history.val_accuracy),
+                        },
+                        "best_val": best_val,
+                        "best_weights": best_weights,
+                        "stale_epochs": stale_epochs,
+                    },
+                )
         if best_weights is not None:
             self.set_weights(best_weights)
         return history
@@ -214,16 +303,30 @@ class Sequential:
         A string/path target without an ``.npz`` suffix is stored as
         ``<path>.npz``; :meth:`load` applies the same normalization, so the
         exact argument given here always loads back.
+
+        File targets are written atomically (temp file + rename), so a crash
+        mid-save never leaves a truncated checkpoint where a previous good
+        one stood.
         """
         spec = json.dumps([layer.spec() for layer in self.layers])
         arrays = {
             f"w{i}": w for i, w in enumerate(self.get_weights())
         }
-        np.savez(
-            self._checkpoint_path(path),
-            spec=np.frombuffer(spec.encode(), dtype=np.uint8),
-            **arrays,
-        )
+        target = self._checkpoint_path(path)
+        if isinstance(target, Path):
+            buffer = io.BytesIO()
+            np.savez(
+                buffer,
+                spec=np.frombuffer(spec.encode(), dtype=np.uint8),
+                **arrays,
+            )
+            atomic_write_bytes(target, buffer.getvalue())
+        else:
+            np.savez(
+                target,
+                spec=np.frombuffer(spec.encode(), dtype=np.uint8),
+                **arrays,
+            )
 
     @classmethod
     def load(cls, path: "str | Path | io.BytesIO") -> "Sequential":

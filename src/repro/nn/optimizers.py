@@ -41,6 +41,46 @@ class Optimizer:
         """Clear all accumulated state (moments, step counter)."""
         self.iterations = 0
 
+    # ------------------------------------------------------------ checkpoint
+    def _slot_state(self) -> "dict[str, dict]":
+        """Subclass hook: accumulated per-parameter arrays to checkpoint."""
+        return {}
+
+    def _load_slots(self, slots: "dict[str, dict]") -> None:
+        """Subclass hook: inverse of :meth:`_slot_state`."""
+
+    def state_dict(self) -> dict:
+        """Snapshot of all mutable optimizer state, for training checkpoints.
+
+        Arrays are copied, so a snapshot is unaffected by later steps.
+        """
+        return {
+            "type": type(self).__name__,
+            "learning_rate": self.learning_rate,
+            "iterations": self.iterations,
+            "slots": {
+                name: {key: value.copy() for key, value in slot.items()}
+                for name, slot in self._slot_state().items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (checkpoint resume)."""
+        found = state.get("type")
+        if found != type(self).__name__:
+            raise ValueError(
+                f"checkpoint holds {found!r} optimizer state, which cannot be "
+                f"loaded into a {type(self).__name__}"
+            )
+        self.learning_rate = float(state["learning_rate"])
+        self.iterations = int(state["iterations"])
+        self._load_slots(
+            {
+                name: {key: np.array(value) for key, value in slot.items()}
+                for name, slot in state.get("slots", {}).items()
+            }
+        )
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -67,6 +107,12 @@ class SGD(Optimizer):
     def reset(self) -> None:
         super().reset()
         self._velocity.clear()
+
+    def _slot_state(self) -> "dict[str, dict]":
+        return {"velocity": self._velocity}
+
+    def _load_slots(self, slots) -> None:
+        self._velocity = slots.get("velocity", {})
 
 
 class Adam(Optimizer):
@@ -102,6 +148,13 @@ class Adam(Optimizer):
         self._m.clear()
         self._v.clear()
 
+    def _slot_state(self) -> "dict[str, dict]":
+        return {"m": self._m, "v": self._v}
+
+    def _load_slots(self, slots) -> None:
+        self._m = slots.get("m", {})
+        self._v = slots.get("v", {})
+
 
 class AdaMax(Optimizer):
     """AdaMax -- the paper's training optimizer."""
@@ -133,3 +186,10 @@ class AdaMax(Optimizer):
         super().reset()
         self._m.clear()
         self._u.clear()
+
+    def _slot_state(self) -> "dict[str, dict]":
+        return {"m": self._m, "u": self._u}
+
+    def _load_slots(self, slots) -> None:
+        self._m = slots.get("m", {})
+        self._u = slots.get("u", {})

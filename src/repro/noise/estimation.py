@@ -14,6 +14,7 @@ of 4.93 % for this heuristic;
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable
@@ -54,9 +55,21 @@ def estimate_noise_level(
 
     Returns a fraction (``0.10`` = 10 % noise). Points with a single
     repetition contribute a zero deviation, so an experiment without any
-    repeated measurements estimates to zero noise.
+    repeated measurements estimates to zero noise -- a degenerate case that
+    says nothing about the true noise level, so it is flagged with a
+    :class:`RuntimeWarning` rather than silently reported as noise-free.
     """
-    deviations = pooled_relative_deviations(source)
+    measurements = _measurement_list(source)
+    if measurements and all(m.repetitions == 1 for m in measurements):
+        warnings.warn(
+            "all measurements have a single repetition; the noise level "
+            "cannot be estimated and 0.0 is returned -- repeat measurements "
+            "to enable noise estimation",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 0.0
+    deviations = pooled_relative_deviations(measurements)
     return float(np.max(deviations) - np.min(deviations))
 
 

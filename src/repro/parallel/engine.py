@@ -22,6 +22,13 @@ parallel runs) and adds:
 * **Progress** -- a lightweight callback receives a :class:`Progress`
   snapshot (completed/failed/total counts, elapsed time, throughput) after
   every chunk, suitable for terminal status lines.
+* **Crash-safe resume** -- with a ``journal`` (a
+  :class:`repro.run.manifest.RunManifest` or anything with the same
+  ``completed_tasks``/``record_task`` pair), every successful task result
+  is durably journaled as soon as it is collected, and a later call over
+  the same items replays journaled results verbatim instead of re-running
+  them. Tasks carry pre-spawned per-index RNGs, so a killed-and-resumed run
+  is bit-identical to an uninterrupted one.
 
 Chunks run through ``imap_unordered`` so a slow chunk never blocks
 completed ones from being collected; the reassembly layer writes each
@@ -39,6 +46,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.parallel.pool import pool_context, resolve_processes
+from repro.testing import faults
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -115,17 +123,23 @@ class TaskError(RuntimeError):
 
 @dataclass(frozen=True)
 class Progress:
-    """Snapshot handed to the progress callback after every chunk."""
+    """Snapshot handed to the progress callback after every chunk.
+
+    ``skipped`` counts tasks restored from a resume journal -- work that a
+    previous (killed) run already completed and that this run did not
+    execute again.
+    """
 
     completed: int
     failed: int
     retried: int
     total: int
     elapsed: float
+    skipped: int = 0
 
     @property
     def done(self) -> int:
-        return self.completed + self.failed
+        return self.completed + self.failed + self.skipped
 
     @property
     def throughput(self) -> float:
@@ -142,6 +156,7 @@ class _RunState:
         self.completed = 0
         self.failed = 0
         self.retried = 0
+        self.skipped = 0
         self.started = time.perf_counter()
 
     def emit(self) -> None:
@@ -153,6 +168,7 @@ class _RunState:
                     retried=self.retried,
                     total=self.total,
                     elapsed=time.perf_counter() - self.started,
+                    skipped=self.skipped,
                 )
             )
 
@@ -181,6 +197,7 @@ def _run_chunk(chunk: "list[tuple[int, Any]]") -> "list[tuple[int, bool, Any, An
     records: list[tuple[int, bool, Any, Any]] = []
     for index, item in chunk:
         try:
+            faults.fault_point("engine.task")
             records.append((index, True, fn(item), None))
         except Exception as exc:
             records.append((index, False, None, (_describe(exc), traceback.format_exc())))
@@ -195,6 +212,7 @@ def run_tasks(
     initializer: "Callable[..., None] | None" = None,
     initargs: tuple = (),
     progress: "Callable[[Progress], None] | None" = None,
+    journal=None,
 ) -> "list[R | TaskFailure]":
     """Map ``fn`` over ``items`` under the engine's fault-tolerance policy.
 
@@ -202,27 +220,50 @@ def run_tasks(
     map runs in-process after calling ``initializer`` locally -- the same
     code path the pool workers execute, so serial and parallel runs of
     deterministic tasks are bit-identical.
+
+    ``journal`` enables crash-safe resume: completed task indices found in
+    ``journal.completed_tasks()`` are restored into their result slots
+    without re-execution (reported as ``Progress.skipped``), and every task
+    that completes in this call is durably recorded via
+    ``journal.record_task(index, result)`` as soon as its chunk is
+    collected. Failures (:class:`TaskFailure`) are never journaled -- a
+    resumed run gives them a fresh set of attempts.
     """
     config = config or EngineConfig()
     items = list(items)
     state = _RunState(len(items), progress)
+    restored: dict[int, Any] = {}
+    if journal is not None:
+        restored = {
+            index: value
+            for index, value in journal.completed_tasks().items()
+            if 0 <= index < len(items)
+        }
+        state.skipped = len(restored)
     n_procs = resolve_processes(config.processes)
-    if n_procs <= 1 or len(items) <= 1:
-        return _run_serial(fn, items, config, initializer, initargs, state)
-    return _run_pool(fn, items, config, initializer, initargs, n_procs, state)
+    if n_procs <= 1 or len(items) - len(restored) <= 1:
+        return _run_serial(fn, items, config, initializer, initargs, state, restored, journal)
+    return _run_pool(fn, items, config, initializer, initargs, n_procs, state, restored, journal)
 
 
-def _run_serial(fn, items, config, initializer, initargs, state):
-    if initializer is not None:
+def _run_serial(fn, items, config, initializer, initargs, state, restored, journal):
+    pending = [index for index in range(len(items)) if index not in restored]
+    if pending and initializer is not None:
         initializer(*initargs)
-    results: list = []
-    for index, item in enumerate(items):
+    results: list = [None] * len(items)
+    for index, value in restored.items():
+        results[index] = value
+    for index in pending:
+        item = items[index]
         attempts = 0
         while True:
             attempts += 1
             try:
-                results.append(fn(item))
+                faults.fault_point("engine.task")
+                results[index] = fn(item)
                 state.completed += 1
+                if journal is not None:
+                    journal.record_task(index, results[index])
                 break
             except Exception as exc:
                 if attempts <= config.max_retries:
@@ -232,21 +273,25 @@ def _run_serial(fn, items, config, initializer, initargs, state):
                     raise TaskError(
                         index, item, _describe(exc), traceback.format_exc(), attempts
                     ) from exc
-                results.append(
-                    TaskFailure(index, _describe(exc), traceback.format_exc(), attempts)
+                results[index] = TaskFailure(
+                    index, _describe(exc), traceback.format_exc(), attempts
                 )
                 state.failed += 1
                 break
         state.emit()
+    if not pending:
+        state.emit()
     return results
 
 
-def _collect_round(pool, pending, chunksize, timeout, results, state):
+def _collect_round(pool, pending, chunksize, timeout, results, state, journal):
     """Submit ``pending`` tasks and collect one round of chunk results.
 
     Returns ``(failed, missing)``: tasks whose function raised (retry
     candidates, with their error records) and tasks whose chunks never came
     back before ``timeout`` (only non-empty when the timeout guard fired).
+    Successful results are journaled the moment their chunk arrives, so a
+    crash loses at most the chunks still in flight.
     """
     chunks = [pending[i : i + chunksize] for i in range(0, len(pending), chunksize)]
     failed: list[tuple[int, Any, tuple[str, str]]] = []
@@ -263,22 +308,28 @@ def _collect_round(pool, pending, chunksize, timeout, results, state):
             if ok:
                 results[index] = value
                 state.completed += 1
+                if journal is not None:
+                    journal.record_task(index, value)
             else:
                 failed.append((index, None, error))
         state.emit()
     return failed, []
 
 
-def _run_pool(fn, items, config, initializer, initargs, n_procs, state):
+def _run_pool(fn, items, config, initializer, initargs, n_procs, state, restored, journal):
     chunksize = config.chunksize or max(1, math.ceil(len(items) / (n_procs * 4)))
     ctx = pool_context(config.start_method)
     results: list = [None] * len(items)
-    pending: list[tuple[int, Any]] = list(enumerate(items))
+    for index, value in restored.items():
+        results[index] = value
+    pending: list[tuple[int, Any]] = [
+        (index, item) for index, item in enumerate(items) if index not in restored
+    ]
     attempt = 1
     with ctx.Pool(n_procs, initializer=_init_engine_worker, initargs=(fn, initializer, initargs)) as pool:
         while True:
             failed, missing = _collect_round(
-                pool, pending, chunksize, config.chunk_timeout, results, state
+                pool, pending, chunksize, config.chunk_timeout, results, state, journal
             )
             if missing:
                 # The pool stopped producing results: mark everything still

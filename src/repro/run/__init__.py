@@ -1,0 +1,15 @@
+"""Crash-safe run lifecycle: manifests, completion journals, resume."""
+
+from repro.run.manifest import (
+    RunManifest,
+    RunManifestError,
+    config_fingerprint,
+    rng_fingerprint,
+)
+
+__all__ = [
+    "RunManifest",
+    "RunManifestError",
+    "config_fingerprint",
+    "rng_fingerprint",
+]

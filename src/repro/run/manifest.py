@@ -1,0 +1,296 @@
+"""Run manifests: the persistent identity and completion journal of a run.
+
+A *run directory* makes a long-lived job (a synthetic sweep over thousands
+of modeling tasks, a case-study campaign) restartable after a crash without
+losing any completed work and without perturbing the results:
+
+``manifest.json``
+    Written once at run creation (atomically): a random run id, creation
+    timestamp, the **configuration fingerprint** (a hash over everything
+    that determines the task stream -- config dataclass, RNG seed state,
+    modeler names), and free-form metadata. On resume the fingerprint is
+    re-derived and must match; mixing results from different configurations
+    is refused loudly rather than producing silently wrong science.
+
+``journal.jsonl``
+    Append-only, one JSON record per line, fsynced after every append.
+    ``task`` records name a completed engine task and the SHA-256 of its
+    pickled payload under ``tasks/``; ``quarantine`` records name input
+    kernels rejected by the validation pass. A crash can tear at most the
+    trailing line, which replay skips; a payload whose checksum no longer
+    matches is treated as never-completed and simply re-run.
+
+``tasks/task-NNNNNN.pkl``
+    One atomically-written pickle per completed task. Payloads are whatever
+    the engine task returned -- they already crossed a process boundary via
+    pickle in pool mode, so picklability is guaranteed by construction.
+
+Determinism contract: tasks carry pre-spawned per-index RNG streams (see
+:mod:`repro.util.seeding`), so a resumed run replays journaled results
+verbatim and recomputes exactly the missing indices with exactly the
+streams the uninterrupted run would have used -- the final result is
+bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import uuid
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.testing import faults
+from repro.util.artifacts import atomic_write_bytes, atomic_write_json, sha256_bytes
+
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+TASKS_DIR = "tasks"
+_MANIFEST_VERSION = 1
+
+
+class RunManifestError(RuntimeError):
+    """A run directory cannot be created, loaded, or safely resumed."""
+
+
+def config_fingerprint(*parts) -> str:
+    """Stable hash over the run-defining parts (configs, seeds, names).
+
+    Dataclass ``repr`` is deterministic and covers every field, which makes
+    it a convenient canonical form; anything with a value-stable ``repr``
+    works.
+    """
+    payload = "\x1f".join(repr(part) for part in parts)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def rng_fingerprint(rng) -> str:
+    """Canonical fingerprint of an ``rng`` argument for the run manifest.
+
+    Journaled runs must be re-enterable: the caller has to be able to hand
+    the *same* random state to the resumed run, so nondeterministic
+    (``None``) seeding is rejected here rather than producing a run that can
+    never be resumed bit-identically.
+    """
+    if isinstance(rng, (int, np.integer)):
+        return f"seed:{int(rng)}"
+    if isinstance(rng, np.random.SeedSequence):
+        return f"seedseq:{rng.entropy!r}:{rng.spawn_key!r}"
+    if isinstance(rng, np.random.Generator):
+        state = json.dumps(rng.bit_generator.state, sort_keys=True, default=str)
+        return "state:" + hashlib.sha256(state.encode()).hexdigest()[:16]
+    if rng is None:
+        raise RunManifestError(
+            "journaled runs require a deterministic seed (int, SeedSequence, or "
+            "Generator), not None: a run seeded from OS entropy cannot be resumed "
+            "bit-identically"
+        )
+    raise RunManifestError(f"cannot fingerprint {type(rng).__name__} as an rng argument")
+
+
+class RunManifest:
+    """Handle on one run directory; also the engine's task journal."""
+
+    def __init__(self, directory: "str | Path", data: dict):
+        self.directory = Path(directory)
+        self._data = data
+
+    # ------------------------------------------------------------ lifecycle
+    @classmethod
+    def create(
+        cls, directory: "str | Path", config_hash: str, meta: "dict | None" = None
+    ) -> "RunManifest":
+        """Start a fresh run; refuses to overwrite an existing one."""
+        directory = Path(directory)
+        path = directory / MANIFEST_NAME
+        if path.exists():
+            raise RunManifestError(
+                f"{directory} already holds a run manifest; resume it (--resume) "
+                "or point the run at a fresh directory"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / TASKS_DIR).mkdir(exist_ok=True)
+        data = {
+            "version": _MANIFEST_VERSION,
+            "run_id": uuid.uuid4().hex[:12],
+            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "config_hash": config_hash,
+            "meta": dict(meta or {}),
+        }
+        atomic_write_json(path, data)
+        return cls(directory, data)
+
+    @classmethod
+    def load(cls, directory: "str | Path") -> "RunManifest":
+        directory = Path(directory)
+        path = directory / MANIFEST_NAME
+        if not path.exists():
+            raise RunManifestError(f"no run manifest at {path}")
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            raise RunManifestError(f"corrupt run manifest at {path}: {err}") from err
+        version = data.get("version")
+        if version != _MANIFEST_VERSION:
+            raise RunManifestError(
+                f"{path}: unsupported manifest version: found {version!r}, "
+                f"supported {_MANIFEST_VERSION}"
+            )
+        return cls(directory, data)
+
+    @classmethod
+    def open(
+        cls,
+        directory: "str | Path",
+        config_hash: str,
+        resume: bool = False,
+        meta: "dict | None" = None,
+    ) -> "RunManifest":
+        """Create a fresh run, or -- with ``resume`` -- re-enter a prior one.
+
+        Resume verifies the configuration fingerprint so journaled results
+        can never silently leak into a run with different parameters.
+        """
+        if not resume:
+            return cls.create(directory, config_hash, meta)
+        manifest = cls.load(directory)
+        if manifest.config_hash != config_hash:
+            raise RunManifestError(
+                f"run {manifest.run_id} at {manifest.directory} was started with "
+                f"configuration hash {manifest.config_hash}, but the resuming call "
+                f"hashes to {config_hash}: refusing to mix results from different "
+                "configurations"
+            )
+        return manifest
+
+    # ------------------------------------------------------------ properties
+    @property
+    def run_id(self) -> str:
+        return self._data["run_id"]
+
+    @property
+    def config_hash(self) -> str:
+        return self._data["config_hash"]
+
+    @property
+    def meta(self) -> dict:
+        return dict(self._data.get("meta", {}))
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / JOURNAL_NAME
+
+    # --------------------------------------------------------------- journal
+    def _append(self, record: dict) -> None:
+        """Durably append one journal record (write, flush, fsync).
+
+        The ``journal.append`` fault point models the two crash shapes an
+        append can see: a crash *before* the write (``raise``/``kill``) and
+        a torn line flushed halfway (``tear``).
+        """
+        line = json.dumps(record, sort_keys=True)
+        spec = faults.check("journal.append")
+        if spec is not None and spec.action != "tear":
+            faults.execute(spec)
+        self._heal_torn_tail()
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            if spec is not None:  # tear: flush half the line, then die
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise faults.InjectedFault(
+                    f"injected 'tear' fault at 'journal.append' (call #{spec.nth})"
+                )
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _heal_torn_tail(self) -> None:
+        """Terminate a torn trailing line so the next append stays on its own
+        line. Without this, a record appended after a crash would fuse with
+        the torn fragment and both would be lost to the malformed-line skip.
+        """
+        try:
+            with open(self.journal_path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+        except FileNotFoundError:
+            pass
+
+    def _records(self) -> "list[dict]":
+        """Replay the journal, skipping torn or malformed lines."""
+        path = self.journal_path
+        if not path.exists():
+            return []
+        records = []
+        for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn append -- the write never completed
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    # ---------------------------------------------------------------- tasks
+    def record_task(self, index: int, payload) -> None:
+        """Journal one completed engine task: payload first, pointer second.
+
+        Ordering gives crash safety: a crash between the two steps leaves an
+        orphan payload file that replay never references -- the task simply
+        re-runs. The reverse order could reference a missing payload.
+        """
+        name = f"task-{index:06d}.pkl"
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = atomic_write_bytes(self.directory / TASKS_DIR / name, blob)
+        self._append(
+            {"type": "task", "task": int(index), "file": f"{TASKS_DIR}/{name}", "sha256": digest}
+        )
+
+    def completed_tasks(self) -> "dict[int, object]":
+        """Replay completed task payloads, dropping any that fail their checksum."""
+        out: dict[int, object] = {}
+        for record in self._records():
+            if record.get("type") != "task":
+                continue
+            payload_path = self.directory / record.get("file", "")
+            try:
+                blob = payload_path.read_bytes()
+            except OSError:
+                continue
+            if sha256_bytes(blob) != record.get("sha256"):
+                continue  # corrupt payload: treat the task as never completed
+            out[int(record["task"])] = pickle.loads(blob)
+        return out
+
+    def task_count(self) -> int:
+        return len(self.completed_tasks())
+
+    # ------------------------------------------------------------ quarantine
+    def record_quarantine(
+        self, kernel: str, reason: str, location: "str | None" = None
+    ) -> None:
+        """Journal one quarantined input kernel (bad measurement data)."""
+        self._append(
+            {"type": "quarantine", "kernel": kernel, "reason": reason, "location": location}
+        )
+
+    def quarantined(self) -> "list[dict]":
+        return [r for r in self._records() if r.get("type") == "quarantine"]
+
+    def __repr__(self) -> str:
+        return (
+            f"RunManifest(run_id={self.run_id!r}, directory={str(self.directory)!r}, "
+            f"config_hash={self.config_hash!r})"
+        )

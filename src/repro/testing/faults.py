@@ -1,0 +1,170 @@
+"""Deterministic fault injection for crash-safety testing.
+
+Long-running sweeps and training runs die to real-world failures that unit
+tests never exercise naturally: a worker OOM-killed mid-batch, a power cut
+between a write and its rename, a flaky task that fails once and then
+succeeds. This module lets the test suite inject exactly those failures at
+*named fault points* sprinkled through the production code, determined by a
+call counter -- the Nth call to a given point fires, every other call is a
+no-op. Because the plan can be carried in the ``REPRO_FAULTS`` environment
+variable, forked pool workers and subprocess drivers inherit it without any
+plumbing, which is what makes end-to-end kill/resume tests possible.
+
+Plan syntax (comma-separated)::
+
+    REPRO_FAULTS="engine.task:kill@3,artifacts.replace:tear@1"
+
+Each entry is ``<point>:<action>@<nth>`` where ``action`` is one of
+
+* ``raise`` -- raise :class:`InjectedFault` (a transient, retryable error),
+* ``kill``  -- ``SIGKILL`` the current process (no cleanup handlers run --
+  the closest simulation of an OOM kill or preemption),
+* ``tear``  -- truncate the in-flight file to half its size and then raise,
+  simulating a torn write interrupted mid-stream.
+
+When no plan is active, :func:`fault_point` returns immediately; production
+overhead is one dict lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+
+__all__ = [
+    "InjectedFault",
+    "FaultSpec",
+    "parse_faults",
+    "activate",
+    "deactivate",
+    "fault_point",
+    "check",
+    "execute",
+    "call_count",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+_ACTIONS = ("raise", "kill", "tear")
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by a firing ``raise``/``tear`` fault point."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: fire ``action`` on the ``nth`` call of ``point``."""
+
+    point: str
+    action: str
+    nth: int
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r} (expected one of {_ACTIONS})")
+        if self.nth < 1:
+            raise ValueError("fault call number must be >= 1 (1-based)")
+
+
+def parse_faults(text: str) -> "dict[str, FaultSpec]":
+    """Parse a ``point:action@nth,...`` plan string into specs by point."""
+    plan: dict[str, FaultSpec] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        try:
+            point, _, rest = entry.partition(":")
+            action, _, nth = rest.partition("@")
+            spec = FaultSpec(point.strip(), action.strip(), int(nth))
+        except ValueError as err:
+            raise ValueError(
+                f"malformed fault entry {entry!r} (expected '<point>:<action>@<nth>'): {err}"
+            ) from err
+        plan[spec.point] = spec
+    return plan
+
+
+# One plan and one set of counters per process. Forked workers inherit the
+# parent's environment (and, under the fork start method, its counters at
+# fork time), so per-process counting is the deterministic choice.
+_PLAN: "dict[str, FaultSpec] | None" = None
+_ENV_CACHE: "tuple[str, dict[str, FaultSpec]] | None" = None
+_COUNTS: "dict[str, int]" = {}
+
+
+def activate(plan: "str | dict[str, FaultSpec]") -> None:
+    """Arm a fault plan in this process and reset all call counters."""
+    global _PLAN
+    _PLAN = parse_faults(plan) if isinstance(plan, str) else dict(plan)
+    _COUNTS.clear()
+
+
+def deactivate() -> None:
+    """Disarm any explicit plan and reset counters (env plans stay parsed)."""
+    global _PLAN, _ENV_CACHE
+    _PLAN = None
+    _ENV_CACHE = None
+    _COUNTS.clear()
+
+
+def _active_plan() -> "dict[str, FaultSpec] | None":
+    if _PLAN is not None:
+        return _PLAN
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    global _ENV_CACHE
+    if _ENV_CACHE is None or _ENV_CACHE[0] != text:
+        _ENV_CACHE = (text, parse_faults(text))
+    return _ENV_CACHE[1]
+
+
+def call_count(point: str) -> int:
+    """How many times ``point`` was hit since the plan was armed."""
+    return _COUNTS.get(point, 0)
+
+
+def check(point: str) -> "FaultSpec | None":
+    """Count one call of ``point``; return the spec if this call fires.
+
+    The split between :func:`check` and :func:`execute` exists for callers
+    that must act on the fault themselves (the journal writer tears its own
+    half-written line); everyone else uses :func:`fault_point`.
+    """
+    plan = _active_plan()
+    if plan is None:
+        return None
+    count = _COUNTS.get(point, 0) + 1
+    _COUNTS[point] = count
+    spec = plan.get(point)
+    if spec is not None and count == spec.nth:
+        return spec
+    return None
+
+
+def execute(spec: FaultSpec, path: "os.PathLike | str | None" = None) -> None:
+    """Carry out a firing fault: raise, SIGKILL, or tear-then-raise."""
+    if spec.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if spec.action == "tear" and path is not None:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+            handle.flush()
+            os.fsync(handle.fileno())
+    raise InjectedFault(
+        f"injected {spec.action!r} fault at {spec.point!r} (call #{spec.nth})"
+    )
+
+
+def fault_point(point: str, path: "os.PathLike | str | None" = None) -> None:
+    """Mark an injectable failure site; fires iff an armed spec matches.
+
+    ``path`` names the file being written at this site, so ``tear`` faults
+    can corrupt it before raising.
+    """
+    spec = check(point)
+    if spec is not None:
+        execute(spec, path)

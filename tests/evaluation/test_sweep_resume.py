@@ -1,0 +1,153 @@
+"""Acceptance: a killed-and-resumed sweep is bit-identical to an
+uninterrupted one.
+
+Two interruption shapes are exercised: an in-process injected crash
+(fast, covers the journal/replay mechanics) and a real ``SIGKILL`` of a
+subprocess mid-sweep (no cleanup handlers run -- the honest simulation of
+an OOM kill or preemption), both followed by ``resume=True``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.parallel.engine import EngineConfig, TaskError
+from repro.regression.modeler import RegressionModeler
+from repro.run.manifest import RunManifest, RunManifestError
+from repro.testing import faults
+
+SEED = 123
+CONFIG = SweepConfig(n_params=1, noise_levels=(0.05, 0.2), n_functions=6, batch_size=2)
+# 2 noise levels x 6 functions / 2 per batch = 6 engine tasks.
+N_TASKS = 6
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def _modelers():
+    return {"regression": RegressionModeler()}
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The uninterrupted run every resumed run must reproduce exactly."""
+    return run_sweep(CONFIG, _modelers(), rng=SEED)
+
+
+def _assert_identical(a, b):
+    """Bit-identical science outputs; wall-clock seconds are exempt."""
+    assert set(a.cells) == set(b.cells)
+    for key, cell_a in a.cells.items():
+        cell_b = b.cells[key]
+        np.testing.assert_array_equal(cell_a.distances, cell_b.distances)
+        np.testing.assert_array_equal(cell_a.errors, cell_b.errors)
+        assert cell_a.functions == cell_b.functions
+        assert cell_a.failures == cell_b.failures
+
+
+class TestJournaledSweep:
+    def test_uninterrupted_journaled_run_matches_plain_run(self, tmp_path, reference):
+        result = run_sweep(CONFIG, _modelers(), rng=SEED, run_dir=str(tmp_path / "run"))
+        _assert_identical(result, reference)
+        manifest = RunManifest.load(tmp_path / "run")
+        assert manifest.task_count() == N_TASKS
+        assert manifest.meta["kind"] == "sweep"
+
+    def test_crash_then_resume_is_bit_identical(self, tmp_path, reference):
+        run_dir = str(tmp_path / "run")
+        faults.activate("engine.task:raise@4")
+        with pytest.raises(TaskError):
+            run_sweep(
+                CONFIG,
+                _modelers(),
+                rng=SEED,
+                run_dir=run_dir,
+                engine=EngineConfig(max_retries=0, processes=1),
+            )
+        faults.deactivate()
+        partial = RunManifest.load(run_dir).task_count()
+        assert 0 < partial < N_TASKS
+
+        resumed = run_sweep(CONFIG, _modelers(), rng=SEED, run_dir=run_dir, resume=True)
+        _assert_identical(resumed, reference)
+        assert RunManifest.load(run_dir).task_count() == N_TASKS
+
+    def test_resume_refuses_configuration_drift(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_sweep(CONFIG, _modelers(), rng=SEED, run_dir=run_dir)
+        with pytest.raises(RunManifestError, match="refusing to mix"):
+            run_sweep(CONFIG, _modelers(), rng=SEED + 1, run_dir=run_dir, resume=True)
+
+    def test_resume_requires_run_dir(self):
+        with pytest.raises(ValueError, match="requires run_dir"):
+            run_sweep(CONFIG, _modelers(), rng=SEED, resume=True)
+
+    def test_journaled_run_refuses_entropy_seeding(self, tmp_path):
+        with pytest.raises(RunManifestError, match="cannot be resumed"):
+            run_sweep(CONFIG, _modelers(), rng=None, run_dir=str(tmp_path / "run"))
+
+    def test_fresh_run_refuses_existing_run_dir(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_sweep(CONFIG, _modelers(), rng=SEED, run_dir=run_dir)
+        with pytest.raises(RunManifestError, match="already holds a run manifest"):
+            run_sweep(CONFIG, _modelers(), rng=SEED, run_dir=run_dir)
+
+
+_KILL_SCRIPT = """
+import sys
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.parallel.engine import EngineConfig
+from repro.regression.modeler import RegressionModeler
+
+config = SweepConfig(n_params=1, noise_levels=(0.05, 0.2), n_functions=6, batch_size=2)
+run_sweep(
+    config,
+    {"regression": RegressionModeler()},
+    rng=123,
+    run_dir=sys.argv[1],
+    engine=EngineConfig(processes=1),
+)
+"""
+
+
+class TestSigkillResume:
+    def test_sigkilled_sweep_resumes_bit_identically(self, tmp_path, reference):
+        """The ISSUE acceptance criterion, with a real SIGKILL mid-run."""
+        run_dir = tmp_path / "run"
+        src = Path(repro.__file__).resolve().parent.parent
+        env = {
+            **os.environ,
+            "PYTHONPATH": str(src),
+            "REPRO_FAULTS": "engine.task:kill@3",  # SIGKILL on the 3rd task
+            "REPRO_PROCS": "1",
+        }
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_SCRIPT, str(run_dir)],
+            env=env,
+            capture_output=True,
+            timeout=300,
+        )
+        assert proc.returncode == -9, (
+            f"expected the run to die by SIGKILL, got rc={proc.returncode}, "
+            f"stderr:\n{proc.stderr.decode()}"
+        )
+        manifest = RunManifest.load(run_dir)
+        completed = manifest.task_count()
+        assert 0 < completed < N_TASKS, "the kill must land mid-run"
+
+        resumed = run_sweep(
+            CONFIG, _modelers(), rng=SEED, run_dir=str(run_dir), resume=True
+        )
+        _assert_identical(resumed, reference)
+        assert RunManifest.load(run_dir).task_count() == N_TASKS

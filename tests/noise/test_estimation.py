@@ -57,6 +57,22 @@ class TestEstimateNoiseLevel:
         with pytest.raises(ValueError):
             estimate_noise_level([])
 
+    def test_single_repetition_warns_and_returns_zero(self):
+        """One repetition per point carries no spread information: the
+        estimate degenerates to 0.0, which must be flagged, not silent."""
+        kern = Kernel("k")
+        for i in range(10):
+            kern.add(Measurement(Coordinate(float(i + 2)), [10.0 + i]))
+        with pytest.warns(RuntimeWarning, match="single repetition"):
+            assert estimate_noise_level(kern) == 0.0
+
+    def test_repeated_measurements_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            estimate_noise_level(noisy_kernel(0.2))
+
     @given(
         level=st.floats(min_value=0.05, max_value=1.0),
         seed=st.integers(min_value=0, max_value=1000),

@@ -1,0 +1,224 @@
+"""Crash-safe resume through the engine journal, composed with retries.
+
+The contract under test: a journaled run that dies mid-way (simulated with
+injected faults) resumes without re-running or double-counting any task that
+already completed, failures are never journaled (they get fresh attempts),
+and the resumed results equal an uninterrupted run's.
+"""
+
+import pytest
+
+from repro.parallel.engine import (
+    EngineConfig,
+    Progress,
+    TaskError,
+    TaskFailure,
+    run_tasks,
+)
+from repro.run.manifest import RunManifest
+from repro.testing import faults
+
+_MARKER_DIR = {"path": None}
+
+
+def _set_marker_dir(path):
+    _MARKER_DIR["path"] = path
+
+
+def counting_square(x):
+    """Square ``x`` and leave one marker file per execution (not per item)."""
+    directory = _MARKER_DIR["path"]
+    count = len(list(directory.glob(f"run-{x}-*")))
+    (directory / f"run-{x}-{count}").write_text("")
+    return x * x
+
+
+def executions(directory, x):
+    return len(list(directory.glob(f"run-{x}-*")))
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return RunManifest.create(tmp_path / "run", "engine-test")
+
+
+class TestJournaledRun:
+    def test_completed_run_replays_without_reexecution(self, tmp_path, journal):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        first = run_tasks(
+            counting_square,
+            range(6),
+            EngineConfig(processes=1),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+        )
+        assert first == [x * x for x in range(6)]
+        assert journal.task_count() == 6
+
+        events: list[Progress] = []
+        second = run_tasks(
+            counting_square,
+            range(6),
+            EngineConfig(processes=1),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            progress=events.append,
+            journal=journal,
+        )
+        assert second == first
+        assert all(executions(markers, x) == 1 for x in range(6)), "tasks re-ran"
+        assert events[-1].skipped == 6
+        assert events[-1].completed == 0
+        assert events[-1].done == 6
+
+    @pytest.mark.parametrize("processes", [1, 2])
+    def test_pool_and_serial_journal_identically(self, tmp_path, processes):
+        journal = RunManifest.create(tmp_path / f"run-{processes}", "engine-test")
+        markers = tmp_path / f"markers-{processes}"
+        markers.mkdir()
+        out = run_tasks(
+            counting_square,
+            range(8),
+            EngineConfig(processes=processes, chunksize=2),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+        )
+        assert out == [x * x for x in range(8)]
+        assert set(journal.completed_tasks()) == set(range(8))
+
+
+class TestInterruptAndResume:
+    def test_crash_midway_then_resume_skips_completed(self, tmp_path, journal):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        # Die on the 4th task attempt: tasks 0-2 are journaled, 3-5 are not.
+        faults.activate("engine.task:raise@4")
+        with pytest.raises(TaskError):
+            run_tasks(
+                counting_square,
+                range(6),
+                EngineConfig(processes=1, max_retries=0),
+                initializer=_set_marker_dir,
+                initargs=(markers,),
+                journal=journal,
+            )
+        faults.deactivate()
+        assert set(journal.completed_tasks()) == {0, 1, 2}
+
+        events: list[Progress] = []
+        resumed = run_tasks(
+            counting_square,
+            range(6),
+            EngineConfig(processes=1),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            progress=events.append,
+            journal=journal,
+        )
+        assert resumed == [x * x for x in range(6)]
+        # Completed tasks ran exactly once across both calls; no double runs.
+        assert all(executions(markers, x) == 1 for x in range(6))
+        assert events[-1].skipped == 3
+        assert events[-1].completed == 3
+        assert journal.task_count() == 6
+
+    def test_retry_then_crash_then_resume(self, tmp_path, journal):
+        """fail -> retry -> journal -> resume must not double-count anything."""
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        # Attempt 2 fails transiently (task 1, first try); the bounded retry
+        # succeeds and the task is journaled exactly once.
+        faults.activate("engine.task:raise@2")
+        events: list[Progress] = []
+        out = run_tasks(
+            counting_square,
+            range(4),
+            EngineConfig(processes=1, max_retries=1),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            progress=events.append,
+            journal=journal,
+        )
+        assert out == [x * x for x in range(4)]
+        assert events[-1].retried == 1
+        assert journal.task_count() == 4
+
+        # Resume replays all four; the retried task is journaled only once.
+        resumed = run_tasks(
+            counting_square,
+            range(4),
+            EngineConfig(processes=1, max_retries=1),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+        )
+        assert resumed == out
+        assert all(executions(markers, x) == 1 for x in range(4))
+
+    def test_marked_failures_are_not_journaled(self, tmp_path, journal):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        faults.activate("engine.task:raise@2")
+        out = run_tasks(
+            counting_square,
+            range(4),
+            EngineConfig(processes=1, max_retries=0, on_error="mark"),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+        )
+        assert isinstance(out[1], TaskFailure)
+        assert set(journal.completed_tasks()) == {0, 2, 3}
+
+        # The failed task gets a fresh set of attempts on resume.
+        faults.deactivate()
+        resumed = run_tasks(
+            counting_square,
+            range(4),
+            EngineConfig(processes=1, max_retries=0, on_error="mark"),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+        )
+        assert resumed == [x * x for x in range(4)]
+        assert journal.task_count() == 4
+
+    def test_resume_with_pool_after_serial_crash(self, tmp_path, journal):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        faults.activate("engine.task:raise@3")
+        with pytest.raises(TaskError):
+            run_tasks(
+                counting_square,
+                range(8),
+                EngineConfig(processes=1, max_retries=0),
+                initializer=_set_marker_dir,
+                initargs=(markers,),
+                journal=journal,
+            )
+        faults.deactivate()
+        completed_before = set(journal.completed_tasks())
+        assert completed_before == {0, 1}
+        resumed = run_tasks(
+            counting_square,
+            range(8),
+            EngineConfig(processes=2, chunksize=2),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+        )
+        assert resumed == [x * x for x in range(8)]
+        assert set(journal.completed_tasks()) == set(range(8))
+        # The journaled prefix was not re-executed by the pool workers.
+        for x in completed_before:
+            assert executions(markers, x) == 1

@@ -1,0 +1,128 @@
+"""Run manifests: lifecycle, fingerprints, journal replay, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.run.manifest import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    RunManifest,
+    RunManifestError,
+    config_fingerprint,
+    rng_fingerprint,
+)
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestFingerprints:
+    def test_config_fingerprint_stable_and_distinct(self):
+        a = config_fingerprint({"n": 1}, "seed:0", ("regression",))
+        assert a == config_fingerprint({"n": 1}, "seed:0", ("regression",))
+        assert a != config_fingerprint({"n": 2}, "seed:0", ("regression",))
+
+    def test_rng_fingerprint_kinds(self):
+        assert rng_fingerprint(42) == "seed:42"
+        seq = np.random.SeedSequence(7)
+        assert rng_fingerprint(seq) == rng_fingerprint(np.random.SeedSequence(7))
+        gen = np.random.default_rng(3)
+        assert rng_fingerprint(gen) == rng_fingerprint(np.random.default_rng(3))
+        assert rng_fingerprint(gen) != rng_fingerprint(np.random.default_rng(4))
+
+    def test_rng_fingerprint_rejects_entropy_seeding(self):
+        with pytest.raises(RunManifestError, match="cannot be resumed"):
+            rng_fingerprint(None)
+
+    def test_rng_fingerprint_rejects_unknown_types(self):
+        with pytest.raises(RunManifestError, match="cannot fingerprint"):
+            rng_fingerprint("a string")
+
+
+class TestLifecycle:
+    def test_create_writes_manifest(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "abc123")
+        assert (tmp_path / "run" / MANIFEST_NAME).exists()
+        assert manifest.config_hash == "abc123"
+        assert manifest.run_id
+
+    def test_create_refuses_existing_run(self, tmp_path):
+        RunManifest.create(tmp_path / "run", "abc123")
+        with pytest.raises(RunManifestError, match="already holds a run manifest"):
+            RunManifest.create(tmp_path / "run", "abc123")
+
+    def test_open_resume_verifies_fingerprint(self, tmp_path):
+        RunManifest.open(tmp_path / "run", "abc123", meta={"kind": "test"})
+        resumed = RunManifest.open(tmp_path / "run", "abc123", resume=True)
+        assert resumed.meta == {"kind": "test"}
+        with pytest.raises(RunManifestError, match="refusing to mix"):
+            RunManifest.open(tmp_path / "run", "different", resume=True)
+
+    def test_resume_missing_directory(self, tmp_path):
+        with pytest.raises(RunManifestError, match="no run manifest"):
+            RunManifest.open(tmp_path / "nope", "abc123", resume=True)
+
+
+class TestJournal:
+    def test_record_and_replay_tasks(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_task(0, {"distances": np.array([1.0, 2.0])})
+        manifest.record_task(3, ("tuple", 7))
+        replayed = manifest.completed_tasks()
+        assert set(replayed) == {0, 3}
+        np.testing.assert_array_equal(replayed[0]["distances"], [1.0, 2.0])
+        assert replayed[3] == ("tuple", 7)
+        assert manifest.task_count() == 2
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_task(0, "first")
+        manifest.record_task(1, "second")
+        journal = tmp_path / "run" / JOURNAL_NAME
+        with open(journal, "a") as handle:
+            handle.write('{"type": "task", "task": 2, "fi')  # torn mid-append
+        assert set(manifest.completed_tasks()) == {0, 1}
+
+    def test_corrupt_payload_treated_as_never_completed(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_task(0, "keep")
+        manifest.record_task(1, "corrupt me")
+        (tmp_path / "run" / "tasks" / "task-000001.pkl").write_bytes(b"garbage")
+        assert set(manifest.completed_tasks()) == {0}
+
+    def test_missing_payload_treated_as_never_completed(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_task(0, "keep")
+        manifest.record_task(1, "delete me")
+        (tmp_path / "run" / "tasks" / "task-000001.pkl").unlink()
+        assert set(manifest.completed_tasks()) == {0}
+
+    def test_torn_journal_append_loses_only_that_task(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_task(0, "before the crash")
+        faults.activate("journal.append:tear@1")
+        with pytest.raises(faults.InjectedFault):
+            manifest.record_task(1, "torn mid-append")
+        faults.deactivate()
+        # The torn line is skipped on replay; the orphan payload is ignored.
+        assert set(manifest.completed_tasks()) == {0}
+        # The journal keeps accepting appends afterwards.
+        manifest.record_task(2, "after recovery")
+        assert set(manifest.completed_tasks()) == {0, 2}
+
+
+class TestQuarantine:
+    def test_record_and_list(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_quarantine("kern_a", "non-finite value nan", "exp.txt:12")
+        manifest.record_quarantine("kern_b", "negative runtime -1.0")
+        records = manifest.quarantined()
+        assert [r["kernel"] for r in records] == ["kern_a", "kern_b"]
+        assert records[0]["location"] == "exp.txt:12"
+        # Quarantine records do not pollute the task replay.
+        assert manifest.completed_tasks() == {}

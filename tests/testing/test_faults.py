@@ -1,0 +1,93 @@
+"""The fault-injection harness itself: parsing, counting, firing."""
+
+import pytest
+
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestParse:
+    def test_multi_entry_plan(self):
+        plan = faults.parse_faults("engine.task:kill@3, artifacts.replace:tear@1")
+        assert plan["engine.task"] == faults.FaultSpec("engine.task", "kill", 3)
+        assert plan["artifacts.replace"] == faults.FaultSpec("artifacts.replace", "tear", 1)
+
+    def test_empty_entries_skipped(self):
+        assert faults.parse_faults("") == {}
+        assert faults.parse_faults(" , ,") == {}
+
+    @pytest.mark.parametrize(
+        "text",
+        ["point", "point:boom@1", "point:raise@x", "point:raise@0", "point:raise"],
+    )
+    def test_malformed_entries(self, text):
+        with pytest.raises(ValueError):
+            faults.parse_faults(text)
+
+
+class TestFiring:
+    def test_fires_exactly_on_nth_call(self):
+        faults.activate("p:raise@3")
+        faults.fault_point("p")
+        faults.fault_point("p")
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("p")
+        # Calls after the Nth are no-ops again (one-shot).
+        faults.fault_point("p")
+        assert faults.call_count("p") == 4
+
+    def test_unlisted_points_never_fire(self):
+        faults.activate("p:raise@1")
+        faults.fault_point("other")
+        assert faults.call_count("other") == 1
+
+    def test_no_plan_is_noop_and_uncounted(self):
+        faults.fault_point("p")
+        assert faults.call_count("p") == 0
+
+    def test_activate_resets_counters(self):
+        faults.activate("p:raise@2")
+        faults.fault_point("p")
+        faults.activate("p:raise@2")
+        faults.fault_point("p")  # counter restarted: this is call 1 again
+        assert faults.call_count("p") == 1
+
+    def test_deactivate_disarms(self):
+        faults.activate("p:raise@1")
+        faults.deactivate()
+        faults.fault_point("p")
+
+
+class TestEnvPlan:
+    def test_env_plan_fires(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "p:raise@1")
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("p")
+
+    def test_explicit_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "p:raise@1")
+        faults.activate("q:raise@1")
+        faults.fault_point("p")  # env entry masked by the explicit plan
+
+    def test_env_plan_recached_on_change(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "p:raise@5")
+        faults.fault_point("p")
+        monkeypatch.setenv(faults.ENV_VAR, "p:raise@2")
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("p")
+
+
+class TestTear:
+    def test_tear_truncates_to_half_and_raises(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        target.write_bytes(b"x" * 100)
+        spec = faults.FaultSpec("p", "tear", 1)
+        with pytest.raises(faults.InjectedFault):
+            faults.execute(spec, path=target)
+        assert target.read_bytes() == b"x" * 50

@@ -1,0 +1,81 @@
+"""Atomic write-rename I/O: round-trips, checksums, torn-write safety."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.testing import faults
+from repro.util.artifacts import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    sha256_bytes,
+    sha256_file,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestRoundTrip:
+    def test_bytes_roundtrip_and_checksum(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        digest = atomic_write_bytes(target, b"hello world")
+        assert target.read_bytes() == b"hello world"
+        assert digest == hashlib.sha256(b"hello world").hexdigest()
+        assert sha256_file(target) == digest
+
+    def test_text_roundtrip(self, tmp_path):
+        target = tmp_path / "note.txt"
+        digest = atomic_write_text(target, "line one\nline two\n")
+        assert target.read_text() == "line one\nline two\n"
+        assert digest == sha256_bytes("line one\nline two\n".encode())
+
+    def test_json_roundtrip_sorted(self, tmp_path):
+        target = tmp_path / "payload.json"
+        atomic_write_json(target, {"b": 2, "a": [1, 2]})
+        assert json.loads(target.read_text()) == {"a": [1, 2], "b": 2}
+        assert target.read_text().endswith("\n")
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "file.txt"
+        atomic_write_text(target, "content")
+        assert target.read_text() == "content"
+
+    def test_overwrite_replaces_content(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+
+class TestTornWrite:
+    def test_torn_write_leaves_previous_version_intact(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_text(target, "previous good version")
+        faults.activate("artifacts.replace:tear@1")
+        with pytest.raises(faults.InjectedFault):
+            atomic_write_text(target, "half-written new version")
+        assert target.read_text() == "previous good version"
+
+    def test_torn_write_leaves_no_stray_temp_files(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        faults.activate("artifacts.replace:raise@1")
+        with pytest.raises(faults.InjectedFault):
+            atomic_write_text(target, "never lands")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_after_disarm_succeeds(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        faults.activate("artifacts.replace:raise@1")
+        with pytest.raises(faults.InjectedFault):
+            atomic_write_text(target, "first attempt")
+        faults.deactivate()
+        atomic_write_text(target, "second attempt")
+        assert target.read_text() == "second attempt"
