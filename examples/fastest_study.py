@@ -10,11 +10,8 @@ extrapolation errors of both modelers side by side.
 Run:  python examples/fastest_study.py        (~1-2 minutes)
 """
 
-from repro.adaptive.modeler import AdaptiveModeler
 from repro.casestudies import fastest
 from repro.casestudies.driver import run_case_study
-from repro.dnn.modeler import DNNModeler
-from repro.regression.modeler import RegressionModeler
 from repro.util.tables import render_table
 
 app = fastest()
@@ -23,8 +20,8 @@ print(f"modeling points: two crossing lines, evaluation at P+{tuple(app.evaluati
 print(f"{len(app.relevant_kernels())} performance-relevant kernels\n")
 
 modelers = {
-    "regression": RegressionModeler(),
-    "adaptive": AdaptiveModeler(dnn=DNNModeler(adaptation_samples_per_class=500)),
+    "regression": "regression",
+    "adaptive": "adaptive(adaptation_samples_per_class=500)",
 }
 result = run_case_study(app, modelers, rng=42)
 

@@ -10,11 +10,8 @@ and Fig. 5 pipeline for one application.
 Run:  python examples/kripke_study.py        (~1-2 minutes)
 """
 
-from repro.adaptive.modeler import AdaptiveModeler
 from repro.casestudies import kripke
 from repro.casestudies.driver import run_case_study
-from repro.dnn.modeler import DNNModeler
-from repro.regression.modeler import RegressionModeler
 from repro.util.tables import render_table
 
 app = kripke()
@@ -23,8 +20,8 @@ print(f"kernels: {[k.name for k in app.kernels]}")
 print(f"evaluation point: P+{tuple(app.evaluation_point)}\n")
 
 modelers = {
-    "regression": RegressionModeler(),
-    "adaptive": AdaptiveModeler(dnn=DNNModeler(adaptation_samples_per_class=500)),
+    "regression": "regression",
+    "adaptive": "adaptive(adaptation_samples_per_class=500)",
 }
 result = run_case_study(app, modelers, rng=42)
 

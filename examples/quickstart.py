@@ -10,8 +10,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import AdaptiveModeler, Experiment
-from repro.dnn import DNNModeler
+from repro import Experiment, create_modeler
 from repro.noise.estimation import summarize_noise
 
 # ----------------------------------------------------------------- measure
@@ -38,8 +37,9 @@ experiment = Experiment.single_parameter(
 print("noise:", summarize_noise(experiment).format())
 
 # The smaller retraining set keeps this demo fast; drop the argument for the
-# paper's settings (2000 samples/class).
-adaptive = AdaptiveModeler(dnn=DNNModeler(adaptation_samples_per_class=200))
+# paper's settings (2000 samples/class). Any registered modeler builds from
+# a spec string like this -- see `repro-model methods` for the full list.
+adaptive = create_modeler("adaptive(adaptation_samples_per_class=200)")
 result = adaptive.model_kernel(experiment.only_kernel(), rng=0)
 
 print(f"model:  {result.function.format(['p'])}")

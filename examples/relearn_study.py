@@ -11,20 +11,17 @@ the recovered models can be read directly against that expectation.
 Run:  python examples/relearn_study.py
 """
 
-from repro.adaptive.modeler import AdaptiveModeler
 from repro.casestudies import relearn
 from repro.casestudies.driver import run_case_study
-from repro.dnn.modeler import DNNModeler
 from repro.noise.classification import classify_noise
-from repro.regression.modeler import RegressionModeler
 
 app = relearn()
 print(f"simulated campaign: {app.name}, parameters {app.parameters}")
 print("theory: connectivity_update = O(n log2^2(n) + p)   [Rinke et al. 2018]\n")
 
 modelers = {
-    "regression": RegressionModeler(),
-    "adaptive": AdaptiveModeler(dnn=DNNModeler(adaptation_samples_per_class=200)),
+    "regression": "regression",
+    "adaptive": "adaptive(adaptation_samples_per_class=200)",
 }
 result = run_case_study(app, modelers, rng=42)
 

@@ -13,20 +13,20 @@ Run:  python examples/synthetic_evaluation.py          (~1 minute)
 
 import time
 
-from repro.adaptive.modeler import AdaptiveModeler
-from repro.dnn.modeler import DNNModeler
+from repro import create_modeler
 from repro.dnn.pretrained import load_or_pretrain
 from repro.evaluation.figures import format_accuracy_table, format_power_table
 from repro.evaluation.sweep import SweepConfig, run_sweep
-from repro.regression.modeler import RegressionModeler
 
 print("loading the pretrained generic network (pretrains on first use) ...")
 network = load_or_pretrain()
 
+# Spec strings build the modelers; the shared network object (no string
+# form) rides along as a keyword override.
 modelers = {
-    "regression": RegressionModeler(),
-    "adaptive": AdaptiveModeler(
-        dnn=DNNModeler(network=network, use_domain_adaptation=False)
+    "regression": create_modeler("regression"),
+    "adaptive": create_modeler(
+        "adaptive(use_domain_adaptation=False)", network=network
     ),
 }
 config = SweepConfig(

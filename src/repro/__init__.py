@@ -24,15 +24,21 @@ The package implements the full adaptive-modeling pipeline of the paper:
 - :mod:`repro.casestudies` -- simulated Kripke / FASTEST / RELeARN
   applications reproducing Figs. 4-6.
 
+All modelers share one construction seam, the registry of
+:mod:`repro.modeling`: ``create_modeler("adaptive(top_k=5)")`` builds any
+registered modeler from a spec string, and every modeler runs the shared
+:class:`~repro.modeling.pipeline.ModelingPipeline` (aggregate -> generate
+candidates -> fit -> select).
+
 Quickstart::
 
     import numpy as np
-    from repro import AdaptiveModeler, Experiment
+    from repro import Experiment, create_modeler
 
     exp = Experiment.single_parameter(
         "p", [4, 8, 16, 32, 64], values=[[t] for t in (9.8, 20.1, 39.7, 80.2, 160.4)]
     )
-    model = AdaptiveModeler().model_kernel(exp.only_kernel(), rng=0)
+    model = create_modeler("adaptive").model_kernel(exp.only_kernel(), rng=0)
     print(model.function)           # human-readable PMNF expression
     print(model.function.evaluate(np.array([128.0])))
 """
@@ -41,6 +47,13 @@ from repro.adaptive.modeler import AdaptiveModeler
 from repro.dnn.modeler import DNNModeler
 from repro.experiment.experiment import Experiment
 from repro.experiment.measurement import Coordinate, Measurement
+from repro.modeling.pipeline import ModelResult
+from repro.modeling.registry import (
+    available_modelers,
+    create_modeler,
+    create_modelers,
+    register_modeler,
+)
 from repro.pmnf.function import PerformanceFunction
 from repro.regression.single_parameter import SingleParameterModeler
 from repro.regression.multi_parameter import MultiParameterModeler
@@ -55,10 +68,15 @@ __all__ = [
     "DNNModeler",
     "Experiment",
     "Measurement",
+    "ModelResult",
     "MultiParameterModeler",
     "PerformanceFunction",
     "RegressionModeler",
     "SingleParameterModeler",
+    "available_modelers",
+    "create_modeler",
+    "create_modelers",
     "estimate_noise_level",
+    "register_modeler",
     "__version__",
 ]

@@ -24,6 +24,16 @@ class AdaptiveModeler:
     learning (:mod:`repro.dnn.domain_adaptation`, driven by the DNN
     modeler), and the regression modeler. The final model is the CV/SMAPE
     winner of whichever modelers ran.
+
+    Both sub-modelers run the shared modeling pipeline; the winner's
+    provenance (generator, engine, per-stage seconds) is passed through.
+    Routing deliberately stays at the *modeler* level -- running both
+    pipelines and comparing CV winners, as in the paper -- rather than
+    merging candidate sets into one selection (the plausibility-class
+    preference makes a union select differently in edge cases; the
+    candidate-level variant is available as the registry's ``fused``
+    method). ``engine`` sets the fitting engine of both default
+    sub-modelers (ignored for explicitly passed ones).
     """
 
     method_name = "adaptive"
@@ -33,9 +43,10 @@ class AdaptiveModeler:
         regression: "RegressionModeler | None" = None,
         dnn: "DNNModeler | None" = None,
         thresholds: "Mapping[int, float] | None" = None,
+        engine: "str | bool | None" = None,
     ):
-        self.regression = regression or RegressionModeler()
-        self.dnn = dnn or DNNModeler()
+        self.regression = regression or RegressionModeler(engine=engine)
+        self.dnn = dnn or DNNModeler(engine=engine)
         self.thresholds = thresholds
 
     def route(self, kernel: Kernel, n_params: int) -> tuple[float, NoiseClass]:

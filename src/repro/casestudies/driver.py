@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.casestudies.base import SimulatedApplication
+from repro.modeling.registry import create_modelers
 from repro.noise.estimation import NoiseSummary, summarize_noise
 from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
 from repro.regression.modeler import ModelResult
@@ -93,7 +94,7 @@ def _model_one_modeler(task) -> tuple[str, dict[str, ModelResult], float]:
 
 def run_case_study(
     application: SimulatedApplication,
-    modelers: Mapping[str, object],
+    modelers: "Mapping[str, object] | Sequence[str]",
     rng=None,
     processes: "int | None" = None,
     engine: "EngineConfig | None" = None,
@@ -102,6 +103,11 @@ def run_case_study(
     resume: bool = False,
 ) -> CaseStudyResult:
     """Simulate the campaign and evaluate every modeler on it.
+
+    ``modelers`` maps display names to modeler objects or to registry spec
+    strings (resolved through
+    :func:`repro.modeling.registry.create_modelers`); a plain sequence of
+    spec strings labels each modeler by its spec.
 
     All modelers see the identical noisy campaign. Predictions are compared
     against the *measured* (median) value at the evaluation point, as in the
@@ -123,6 +129,7 @@ def run_case_study(
     is recomputed on resume -- it is deterministic given the seed and cheap
     next to modeling.
     """
+    modelers = create_modelers(modelers)
     journal = None
     if run_dir is not None:
         fingerprint = config_fingerprint(

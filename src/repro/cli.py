@@ -4,9 +4,13 @@ Subcommands::
 
     repro-model noise <experiment-file>          estimate noise (Fig. 5 style)
     repro-model model <experiment-file>          create performance models
+    repro-model methods                          list the registered modelers
     repro-model pretrain                         (re)build the cached generic network
     repro-model evaluate --params 1              synthetic sweep (Fig. 3 tables)
     repro-model casestudy kripke                 run a simulated case study
+
+``--method`` accepts any registered modeler spec string, e.g.
+``--method "dnn(top_k=5)"``; ``repro-model methods`` lists them.
 
 Experiment files may be JSON (``.json``) or the Extra-P style text format
 (anything else); see :mod:`repro.experiment.io`.
@@ -34,18 +38,23 @@ def _load_experiment(path: str, keep_going: bool = False, manifest=None):
     return experiment
 
 
-def _make_modeler(method: str, seed: int):
-    from repro.adaptive.modeler import AdaptiveModeler
-    from repro.dnn.modeler import DNNModeler
-    from repro.regression.modeler import RegressionModeler
+def _method_spec(spec: str) -> str:
+    """Argparse type for ``--method``: any registered modeler spec string.
 
-    if method == "regression":
-        return RegressionModeler()
-    if method == "dnn":
-        return DNNModeler()
-    if method == "adaptive":
-        return AdaptiveModeler()
-    raise ValueError(f"unknown method {method!r}")
+    Validates eagerly so a typo fails at parse time with the registered
+    names, not deep inside modeling.
+    """
+    from repro.modeling.registry import available_modelers, parse_spec
+
+    try:
+        name, _ = parse_spec(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    if name not in available_modelers():
+        raise argparse.ArgumentTypeError(
+            f"unknown modeler {name!r}; registered: {', '.join(available_modelers())}"
+        )
+    return spec
 
 
 def _cmd_noise(args: argparse.Namespace) -> int:
@@ -90,7 +99,9 @@ def _cmd_model(args: argparse.Namespace) -> int:
     experiment = _load_experiment(
         args.experiment, keep_going=args.keep_going, manifest=manifest
     )
-    modeler = _make_modeler(args.method, args.seed)
+    from repro.modeling.registry import create_modeler
+
+    modeler = create_modeler(args.method)
     results = modeler.model_experiment(experiment, rng=args.seed)
     names = list(experiment.parameters)
     for kernel_name in sorted(results):
@@ -132,17 +143,16 @@ def _progress_printer(label: str = "sweep"):
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    from repro.dnn.modeler import DNNModeler
-    from repro.adaptive.modeler import AdaptiveModeler
     from repro.evaluation.figures import format_accuracy_table, format_power_table
     from repro.evaluation.sweep import SweepConfig, run_sweep
-    from repro.parallel.engine import EngineConfig
-    from repro.regression.modeler import RegressionModeler
 
-    dnn = DNNModeler(use_domain_adaptation=False)
+    from repro.parallel.engine import EngineConfig
+
+    # The synthetic sweep classifies with the generic network: the
+    # pretraining distribution already matches the synthesized tasks.
     modelers = {
-        "regression": RegressionModeler(),
-        "adaptive": AdaptiveModeler(dnn=dnn),
+        "regression": "regression",
+        "adaptive": "adaptive(use_domain_adaptation=False)",
     }
     config = SweepConfig(
         n_params=args.params,
@@ -217,12 +227,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_thresholds(args: argparse.Namespace) -> int:
     from repro.adaptive.thresholds import calibrate_thresholds
-    from repro.dnn.modeler import DNNModeler
-    from repro.regression.modeler import RegressionModeler
+    from repro.modeling.registry import create_modeler
 
     thresholds = calibrate_thresholds(
-        RegressionModeler(),
-        DNNModeler(use_domain_adaptation=False),
+        create_modeler("regression"),
+        create_modeler("dnn(use_domain_adaptation=False)"),
         m_values=tuple(args.params),
         noise_levels=tuple(n / 100 for n in args.noise),
         n_functions=args.functions,
@@ -251,17 +260,29 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_methods(args: argparse.Namespace) -> int:
+    from repro.modeling.registry import available_modelers, registered_modeler
+
+    rows = []
+    for name in available_modelers():
+        entry = registered_modeler(name)
+        rows.append([entry.signature(), entry.description])
+    print(
+        render_table(
+            ["spec", "description"],
+            rows,
+            title="Registered modelers (pass to --method, e.g. \"dnn(top_k=5)\")",
+        )
+    )
+    return 0
+
+
 def _cmd_casestudy(args: argparse.Namespace) -> int:
-    from repro.adaptive.modeler import AdaptiveModeler
     from repro.casestudies import ALL_STUDIES
     from repro.casestudies.driver import run_case_study
-    from repro.regression.modeler import RegressionModeler
 
     application = ALL_STUDIES[args.name]()
-    modelers = {
-        "regression": RegressionModeler(),
-        "adaptive": AdaptiveModeler(),
-    }
+    modelers = {"regression": "regression", "adaptive": "adaptive"}
     result = run_case_study(
         application,
         modelers,
@@ -313,8 +334,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_model.add_argument("experiment", help="experiment file (.json or Extra-P text)")
     p_model.add_argument(
         "--method",
-        choices=("regression", "dnn", "adaptive"),
+        type=_method_spec,
         default="adaptive",
+        help="registered modeler spec, e.g. regression or \"dnn(top_k=5)\" "
+        "(see 'repro-model methods')",
     )
     p_model.add_argument("--seed", type=int, default=0)
     p_model.add_argument("--keep-going", action="store_true", help=keep_going_help)
@@ -323,6 +346,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a run manifest (incl. quarantined kernels) in this directory",
     )
     p_model.set_defaults(func=_cmd_model)
+
+    p_methods = sub.add_parser("methods", help="list the registered modelers")
+    p_methods.set_defaults(func=_cmd_methods)
 
     p_pre = sub.add_parser("pretrain", help="pretrain and cache the generic network")
     p_pre.add_argument("--net", choices=("fast", "paper"), default="fast")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from itertools import product
+from dataclasses import replace
 from typing import Sequence
 
 import numpy as np
@@ -17,16 +17,13 @@ from repro.dnn.domain_adaptation import (
 from repro.dnn.pretrained import load_or_pretrain
 from repro.experiment.experiment import Experiment, Kernel
 from repro.experiment.lines import parameter_lines
-from repro.experiment.measurement import value_table
+from repro.modeling.candidates import DNNTopKGenerator
+from repro.modeling.pipeline import ModelingPipeline, ModelResult
 from repro.nn.metrics import top_k_classes
 from repro.nn.network import Sequential
 from repro.pmnf.searchspace import pair_for_class
-from repro.pmnf.terms import CompoundTerm, ExponentPair
+from repro.pmnf.terms import ExponentPair
 from repro.preprocessing.encoding import encode_parameter_line
-from repro.regression.modeler import ModelResult
-from repro.regression.multi_parameter import combination_hypotheses
-from repro.regression.selection import evaluate_hypotheses, select_best
-from repro.regression.single_parameter import single_parameter_hypotheses
 from repro.util.cache import LRUCache
 from repro.util.seeding import as_generator
 from repro.util.timing import Timer
@@ -55,6 +52,12 @@ class DNNModeler:
     generic network (Sec. IV-E); pass ``use_domain_adaptation=False`` to
     classify with the generic network directly (used by the synthetic
     sweeps, where the pretraining distribution already matches the tasks).
+
+    Hypothesis fitting and selection run through the shared
+    :class:`~repro.modeling.pipeline.ModelingPipeline` with a
+    :class:`~repro.modeling.candidates.DNNTopKGenerator`; ``engine`` selects
+    the fitting engine (``'fast'``/``'reference'``; ``None`` follows
+    ``REPRO_FIT_ENGINE``).
     """
 
     method_name = "dnn"
@@ -71,6 +74,7 @@ class DNNModeler:
         aggregation: str = "median",
         adaptation_cache_size: int = DEFAULT_ADAPTATION_CACHE_SIZE,
         line_cache_size: int = DEFAULT_LINE_CACHE_SIZE,
+        engine: "str | bool | None" = None,
     ):
         if top_k < 1:
             raise ValueError("top_k must be positive")
@@ -95,6 +99,9 @@ class DNNModeler:
         #: :meth:`classify_batch` so per-kernel modeling after a batched
         #: forward pass skips the network entirely.
         self._candidate_cache = LRUCache(line_cache_size)
+        self.pipeline = ModelingPipeline(
+            DNNTopKGenerator(self), aggregation=aggregation, engine=engine
+        )
 
     # ---------------------------------------------------------------- plumbing
     @property
@@ -228,50 +235,38 @@ class DNNModeler:
 
         When ``network`` is given (e.g. adapted once for a whole experiment)
         it is used directly; otherwise a task-specific adaptation is derived
-        from this kernel's measurements.
+        from this kernel's measurements. Candidate generation, fitting, and
+        selection run through the shared modeling pipeline; the per-stage
+        seconds (plus ``adapt`` when a network was resolved here) appear in
+        the result's provenance.
         """
         if len(kernel) == 0:
             raise ValueError(f"kernel {kernel.name!r} has no measurements")
         if n_params is None:
             n_params = kernel.coordinates[0].dimensions
         gen = as_generator(rng)
-        with Timer() as timer:
-            if network is None:
+        adapt_seconds = 0.0
+        if network is None:
+            with Timer() as adapt_timer:
                 task = (
                     AdaptationTask.from_kernel(kernel, n_params)
                     if self.use_domain_adaptation
                     else None
                 )
                 network = self.network_for_task(task, gen)
-            candidates = self.classify_lines(kernel, n_params, network)
-            points, medians = value_table(kernel.measurements, self.aggregation)
-            if n_params == 1:
-                # Constant pair appended as a safety net: the classifier may
-                # miss it, but a constant kernel must still be modelable.
-                pairs = candidates[0] + [ExponentPair(0, 0)]
-                hypotheses = single_parameter_hypotheses(pairs)
-            else:
-                hypotheses = []
-                seen = set()
-                for combo in product(*candidates):
-                    terms = [
-                        None if pair.is_constant else CompoundTerm.from_pair(pair)
-                        for pair in combo
-                    ]
-                    for hyp in combination_hypotheses(terms):
-                        key = hyp.structure_key()
-                        if key not in seen:
-                            seen.add(key)
-                            hypotheses.append(hyp)
-            scored = evaluate_hypotheses(hypotheses, points, medians)
-            best = select_best(scored)
-        return ModelResult(
-            function=best.function,
-            cv_smape=best.cv_smape,
-            method=self.method_name,
-            seconds=timer.elapsed,
-            kernel=kernel.name,
+            adapt_seconds = adapt_timer.elapsed
+        result = self.pipeline.model_kernel(
+            kernel, n_params, rng=gen, network=network, method=self.method_name
         )
+        if adapt_seconds and result.provenance is not None:
+            provenance = replace(
+                result.provenance,
+                stage_seconds={"adapt": adapt_seconds, **result.provenance.stage_seconds},
+            )
+            result = replace(
+                result, seconds=result.seconds + adapt_seconds, provenance=provenance
+            )
+        return result
 
     def model_experiment(self, experiment: Experiment, rng=None) -> dict[str, ModelResult]:
         """Model every kernel, adapting the network once for the whole task.

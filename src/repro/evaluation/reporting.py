@@ -16,14 +16,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.adaptive.modeler import AdaptiveModeler
 from repro.casestudies import ALL_STUDIES
 from repro.casestudies.driver import CaseStudyResult, run_case_study
-from repro.dnn.modeler import DNNModeler
 from repro.dnn.pretrained import load_or_pretrain
 from repro.evaluation.figures import format_accuracy_table, format_power_table
 from repro.evaluation.sweep import SweepConfig, SweepResult, run_sweep
-from repro.regression.modeler import RegressionModeler
+from repro.modeling.registry import create_modeler
 from repro.util.artifacts import atomic_write_text
 from repro.util.seeding import as_generator, spawn_generators
 from repro.util.tables import render_table
@@ -184,10 +182,11 @@ def run_reproduction(
     with Timer() as total:
         emit("loading / pretraining the generic network ...")
         network = load_or_pretrain()
-        dnn = DNNModeler(network=network, use_domain_adaptation=False)
         sweep_modelers = {
-            "regression": RegressionModeler(),
-            "adaptive": AdaptiveModeler(dnn=dnn),
+            "regression": create_modeler("regression"),
+            "adaptive": create_modeler(
+                "adaptive(use_domain_adaptation=False)", network=network
+            ),
         }
         for m in config.parameter_counts:
             emit(f"running the m={m} synthetic sweep ...")
@@ -202,13 +201,11 @@ def run_reproduction(
             for name, factory in ALL_STUDIES.items():
                 emit(f"running the {name} case study ...")
                 modelers = {
-                    "regression": RegressionModeler(),
-                    "adaptive": AdaptiveModeler(
-                        dnn=DNNModeler(
-                            network=network,
-                            use_domain_adaptation=True,
-                            adaptation_samples_per_class=config.adaptation_samples_per_class,
-                        )
+                    "regression": create_modeler("regression"),
+                    "adaptive": create_modeler(
+                        "adaptive(use_domain_adaptation=True, "
+                        f"adaptation_samples_per_class={config.adaptation_samples_per_class})",
+                        network=network,
                     ),
                 }
                 report.case_studies[name] = run_case_study(

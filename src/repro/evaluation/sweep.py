@@ -26,6 +26,7 @@ import numpy as np
 from repro.evaluation.accuracy import ACCURACY_BUCKETS, bucket_fractions, lead_exponent_distance
 from repro.evaluation.predictive_power import relative_prediction_errors
 from repro.experiment.experiment import Kernel
+from repro.modeling.registry import create_modelers
 from repro.noise.injection import UniformNoise
 from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
 from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
@@ -270,7 +271,7 @@ def _run_task(task: "tuple[float, np.random.Generator]") -> TaskOutcome:
 
 def run_sweep(
     config: SweepConfig,
-    modelers: Mapping[str, object],
+    modelers: "Mapping[str, object] | Sequence[str]",
     rng=None,
     processes: "int | None" = None,
     engine: "EngineConfig | None" = None,
@@ -281,9 +282,12 @@ def run_sweep(
     """Run the full sweep through the fault-tolerant engine.
 
     ``modelers`` maps display names to objects with the common
-    ``model_kernel(kernel, n_params, rng=...)`` interface. The same noisy
-    campaign is given to every modeler (paired comparison), matching the
-    paper's protocol.
+    ``model_kernel(kernel, n_params, rng=...)`` interface -- or to registry
+    spec strings (``"adaptive(use_domain_adaptation=False)"``), resolved
+    through :func:`repro.modeling.registry.create_modelers`; a plain
+    sequence of spec strings labels each modeler by its spec. The same
+    noisy campaign is given to every modeler (paired comparison), matching
+    the paper's protocol.
 
     ``engine`` sets the execution policy (workers, retries, chunk timeout);
     ``processes`` is a shorthand overriding just the worker count. Batches
@@ -305,6 +309,7 @@ def run_sweep(
     """
     if not modelers:
         raise ValueError("at least one modeler is required")
+    modelers = create_modelers(modelers)
     journal = None
     if run_dir is not None:
         fingerprint = config_fingerprint(

@@ -25,9 +25,20 @@ from repro.regression.hypothesis import Hypothesis, fit_hypothesis
 from repro.regression.selection import ScoredModel
 
 
-def _constant_cv_smape(values: np.ndarray) -> float:
-    """LOO CV of the intercept-only model, in closed form."""
+def _constant_cv_smape(values: np.ndarray, kernel: str = "") -> float:
+    """LOO CV of the intercept-only model, in closed form.
+
+    Needs at least two points: each left-out point is predicted by the mean
+    of the remaining ``n - 1``. ``kernel`` (optional) names the offender in
+    the error message.
+    """
     n = values.size
+    if n < 2:
+        label = f"kernel {kernel!r}" if kernel else "kernel"
+        raise ValueError(
+            f"{label} has {n} measurement point(s); leave-one-out "
+            "cross-validation of a constant fit needs at least 2"
+        )
     loo = (np.sum(values) - values) / (n - 1)
     denom = np.abs(values) + np.abs(loo)
     ratio = np.where(denom > 0, 2.0 * np.abs(values - loo) / denom, 0.0)

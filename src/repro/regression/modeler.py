@@ -2,29 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.experiment.experiment import Experiment, Kernel
-from repro.pmnf.function import PerformanceFunction
+from repro.modeling.pipeline import ModelingPipeline, ModelResult, Provenance
 from repro.regression.multi_parameter import MultiParameterModeler
-from repro.util.timing import Timer
 
-
-@dataclass(frozen=True)
-class ModelResult:
-    """Outcome of modeling one kernel -- common to all modelers."""
-
-    function: PerformanceFunction
-    cv_smape: float
-    method: str
-    seconds: float
-    kernel: str = ""
-
-    def format(self, parameter_names=None) -> str:
-        return (
-            f"[{self.method}] {self.kernel or 'kernel'}: "
-            f"{self.function.format(parameter_names)} (CV-SMAPE {self.cv_smape:.2f}%)"
-        )
+__all__ = ["ModelResult", "Provenance", "RegressionModeler"]
 
 
 class RegressionModeler:
@@ -32,34 +14,40 @@ class RegressionModeler:
 
     Implements the common modeler interface (``model_kernel`` /
     ``model_experiment``) shared with :class:`repro.dnn.DNNModeler` and
-    :class:`repro.adaptive.AdaptiveModeler`. The ``rng`` argument is
-    accepted for interface compatibility; regression is deterministic.
+    :class:`repro.adaptive.AdaptiveModeler`, running the shared
+    :class:`~repro.modeling.pipeline.ModelingPipeline` with the exhaustive
+    :class:`~repro.modeling.candidates.FullSearchGenerator`. The ``rng``
+    argument is accepted for interface compatibility; regression is
+    deterministic. ``engine`` selects the fitting engine
+    (``'fast'``/``'reference'``; ``None`` follows ``REPRO_FIT_ENGINE``).
     """
 
     method_name = "regression"
 
     def __init__(
-        self, multi: "MultiParameterModeler | None" = None, aggregation: str = "median"
+        self,
+        multi: "MultiParameterModeler | None" = None,
+        aggregation: str = "median",
+        engine: "str | bool | None" = None,
     ):
-        self.multi = multi or MultiParameterModeler(aggregation=aggregation)
+        # Imported here, not at module level: candidates.py imports the
+        # regression package, whose __init__ re-exports this module.
+        from repro.modeling.candidates import FullSearchGenerator
+
+        self.multi = multi or MultiParameterModeler(
+            aggregation=aggregation, use_fast_path=engine
+        )
+        self.pipeline = ModelingPipeline(
+            FullSearchGenerator(self.multi),
+            aggregation=self.multi.aggregation,
+            engine=engine,
+        )
 
     def model_kernel(
         self, kernel: Kernel, n_params: "int | None" = None, rng=None
     ) -> ModelResult:
         """Model one kernel; ``n_params`` defaults to the coordinate arity."""
-        if len(kernel) == 0:
-            raise ValueError(f"kernel {kernel.name!r} has no measurements")
-        if n_params is None:
-            n_params = kernel.coordinates[0].dimensions
-        with Timer() as timer:
-            scored = self.multi.model_kernel(kernel, n_params)
-        return ModelResult(
-            function=scored.function,
-            cv_smape=scored.cv_smape,
-            method=self.method_name,
-            seconds=timer.elapsed,
-            kernel=kernel.name,
-        )
+        return self.pipeline.model_kernel(kernel, n_params, method=self.method_name)
 
     def model_experiment(self, experiment: Experiment, rng=None) -> dict[str, ModelResult]:
         """Model every kernel of an experiment."""

@@ -69,15 +69,39 @@ class MultiParameterModeler:
 
     ``aggregation`` selects the representative value of the repetitions
     (``median``/``mean``/``min``); the paper models the median.
+
+    ``use_fast_path`` picks the engine evaluating the combination
+    hypotheses: the batched-SVD fast path of
+    :mod:`repro.regression.fast_multi` (``'fast'``, the default) or the
+    reference per-hypothesis loop (``'reference'``); ``None`` follows
+    ``REPRO_FIT_ENGINE``. Both engines select bit-identical models -- the
+    equivalence is pinned by ``tests/regression/test_fast_multi.py``.
     """
 
     def __init__(
         self,
         single: "SingleParameterModeler | None" = None,
         aggregation: str = "median",
+        use_fast_path: "bool | str | None" = None,
     ):
-        self.single = single or SingleParameterModeler()
+        from repro.modeling.engine import resolve_fit_engine
+
+        self.single = single or SingleParameterModeler(use_fast_path=use_fast_path)
         self.aggregation = aggregation
+        self.engine = resolve_fit_engine(use_fast_path)
+        self._fast = None
+        if self.engine == "fast":
+            from repro.regression.fast_multi import FastMultiParameterSearch
+
+            self._fast = FastMultiParameterSearch()
+
+    def evaluate_and_select(
+        self, hypotheses: Sequence[Hypothesis], points, values
+    ) -> ScoredModel:
+        """Fit, LOO-score, and select over ``hypotheses`` via the engine."""
+        if self._fast is not None:
+            return self._fast.select(hypotheses, points, values)
+        return select_best(evaluate_hypotheses(hypotheses, points, values))
 
     def model_lines(self, lines: Sequence[ParameterLine]) -> list[ScoredModel]:
         """Single-parameter models for each parameter's measurement line."""
@@ -107,5 +131,4 @@ class MultiParameterModeler:
         single_models = self.model_lines(lines)
         hypotheses = combination_hypotheses(self.lead_terms(single_models))
         points, values = value_table(kernel.measurements, self.aggregation)
-        scored = evaluate_hypotheses(hypotheses, points, values)
-        return select_best(scored)
+        return self.evaluate_and_select(hypotheses, points, values)

@@ -88,6 +88,16 @@ class TestConstantCv:
         expected = np.mean(2 * np.abs(values - loo) / (np.abs(values) + np.abs(loo))) * 100
         assert _constant_cv_smape(values) == pytest.approx(expected)
 
+    def test_single_point_raises_with_kernel_name(self):
+        """n = 1 would divide by n - 1 = 0; the error names the kernel and
+        the minimum point count instead."""
+        with pytest.raises(ValueError, match=r"'solver'.*1 measurement point.*at least 2"):
+            _constant_cv_smape(np.array([7.0]), kernel="solver")
+
+    def test_empty_values_raise(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            _constant_cv_smape(np.array([]))
+
 
 class TestSearchConstruction:
     def test_duplicates_removed(self):

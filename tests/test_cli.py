@@ -26,6 +26,7 @@ class TestParser:
         for argv in (
             ["noise", "f.json"],
             ["model", "f.json", "--method", "dnn"],
+            ["methods"],
             ["pretrain", "--net", "paper"],
             ["evaluate", "--params", "2"],
             ["casestudy", "kripke"],
@@ -40,6 +41,44 @@ class TestParser:
     def test_invalid_casestudy_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["casestudy", "nonexistent"])
+
+    def test_method_accepts_registry_specs(self):
+        args = build_parser().parse_args(
+            ["model", "f.json", "--method", "dnn(top_k=5)"]
+        )
+        assert args.method == "dnn(top_k=5)"
+
+    def test_unknown_method_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model", "f.json", "--method", "nope"])
+        assert "registered" in capsys.readouterr().err
+
+    def test_malformed_method_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model", "f.json", "--method", "dnn(5)"])
+
+
+class TestMethodsCommand:
+    def test_lists_every_registered_modeler(self, capsys):
+        from repro.modeling.registry import available_modelers
+
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name, entry in available_modelers().items():
+            assert f"{name}(" in out
+            assert entry.description in out
+
+    def test_every_registered_method_round_trips(self):
+        """Every listed method spec must build through create_modeler."""
+        from repro.modeling.pipeline import Modeler
+        from repro.modeling.registry import available_modelers, create_modeler
+
+        for name in available_modelers():
+            modeler = create_modeler(f"{name}()")
+            if name == "gpr":  # predictions-only baseline, no model_kernel
+                continue
+            assert isinstance(modeler, Modeler)
+            assert modeler.method_name == name
 
 
 class TestNoiseCommand:
