@@ -277,6 +277,46 @@ def _cmd_methods(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        available_rules,
+        find_project_root,
+        lint_paths,
+        load_config,
+        render_json,
+        render_text,
+    )
+
+    config = load_config(find_project_root())
+    select = _split_rules(args.select)
+    ignore = _split_rules(args.ignore)
+    known = set(available_rules())
+    unknown = [r for r in (select or []) + (ignore or []) if r not in known]
+    if unknown:
+        print(
+            f"error: unknown rule(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        return 2
+    config = config.with_overrides(select=select, ignore=ignore)
+    try:
+        result = lint_paths(args.paths or None, config)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = render_json(result) if args.format == "json" else render_text(result)
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
+    return 0 if result.clean else 1
+
+
+def _split_rules(values: "list[str] | None") -> "list[str] | None":
+    """Flatten repeated/comma-separated ``--select``/``--ignore`` values."""
+    if not values:
+        return None
+    return [part.strip().upper() for value in values for part in value.split(",") if part.strip()]
+
+
 def _cmd_casestudy(args: argparse.Namespace) -> int:
     from repro.casestudies import ALL_STUDIES
     from repro.casestudies.driver import run_case_study
@@ -439,6 +479,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a journaled case study, replaying completed modelers",
     )
     p_case.set_defaults(func=_cmd_casestudy)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repro-lint static-analysis pass (AST invariants)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the [tool.repro-lint] "
+        "paths from pyproject.toml)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is schema-versioned for CI consumers)",
+    )
+    p_lint.add_argument(
+        "--select", action="append", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (replaces the configured set)",
+    )
+    p_lint.add_argument(
+        "--ignore", action="append", metavar="RULES", default=None,
+        help="comma-separated rule ids to skip (extends the configured set)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate the paper's full evaluation as one report"

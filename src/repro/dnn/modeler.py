@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Sequence
 
@@ -192,17 +193,33 @@ class DNNModeler:
         cached, so subsequent :meth:`model_kernel` calls on the same kernel
         objects (with the same network) skip classification entirely.
 
-        A kernel that cannot be encoded yields ``None`` in the returned
-        list; the error surfaces with full context when that kernel is
-        modeled individually.
+        A kernel that cannot be encoded (degenerate measurement lines raise
+        :class:`ValueError`) yields ``None`` in the returned list; the batch
+        emits one :class:`RuntimeWarning` naming how many kernels were
+        skipped and which, and the error surfaces with full context when
+        that kernel is modeled individually. Unexpected exception types
+        propagate -- they indicate a bug, not a bad kernel.
         """
         network = network or self.generic_network
         encoded: list["np.ndarray | None"] = []
+        failures: list[str] = []
         for kernel in kernels:
             try:
                 encoded.append(self.encode_kernel(kernel, n_params))
-            except Exception:
+            except ValueError:
                 encoded.append(None)
+                failures.append(kernel.name)
+        if failures:
+            shown = ", ".join(repr(name) for name in failures[:5])
+            if len(failures) > 5:
+                shown += ", ..."
+            warnings.warn(
+                f"classify_batch: {len(failures)} of {len(encoded)} kernel(s) "
+                f"could not be encoded and were skipped ({shown}); model them "
+                "individually for the full error",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         rows = [vectors for vectors in encoded if vectors is not None]
         if not rows:
             return [None] * len(list(kernels))

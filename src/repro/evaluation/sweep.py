@@ -208,6 +208,9 @@ def _model_task(truth, kernel, eval_pts, gen, config, modelers) -> TaskOutcome:
             distance = lead_exponent_distance(result.function, truth)
             errors = relative_prediction_errors(result.function, truth, eval_pts)
             out[name] = (distance, errors, result.seconds, result.function.format())
+        # repro-lint: disable-next-line=EXC001 -- not swallowed: the failure is
+        # recorded as a maximally-wrong outcome (inf distance, NaN errors) so it
+        # degrades the modeler's score instead of silently shrinking the sample.
         except Exception:
             # A failed modeling attempt counts as maximally wrong rather than
             # silently shrinking the sample (no silent caps).

@@ -1,0 +1,49 @@
+"""repro-lint: AST-based invariant checking for the reproduction's conventions.
+
+The library has three load-bearing conventions that ordinary tests cannot
+enforce: stochastic code must thread explicit ``np.random.Generator`` objects
+through :mod:`repro.util.seeding`, artifact writes must go through the atomic
+writers in :mod:`repro.util.artifacts`, and modeler spec strings must resolve
+against the registry in :mod:`repro.modeling.registry`. This package is a
+small rule-based static-analysis framework -- a shared AST walk, a rule
+registry, per-rule ``# repro-lint: disable=RULE`` suppression comments, and
+text/JSON reporters -- that checks those invariants (plus numerical-hygiene
+ones) on every file of the repository, wired into CI as a gating job.
+
+Run it as ``repro-model lint [paths]``; see :mod:`repro.lint.rules` for the
+rule catalogue and DESIGN.md §9 for the rationale and suppression policy.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import LintConfig, find_project_root, load_config
+from repro.lint.core import (
+    LintContext,
+    Rule,
+    Violation,
+    available_rules,
+    lint_source,
+    register_rule,
+)
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import LintResult, lint_file, lint_paths
+
+# Importing the rule catalogue registers the built-in rules.
+from repro.lint import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "LintConfig",
+    "LintContext",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "available_rules",
+    "find_project_root",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,132 @@
+"""Lint configuration: defaults, ``[tool.repro-lint]`` in pyproject.toml.
+
+The configuration controls *which* rules run *where*; the rules themselves
+live in :mod:`repro.lint.rules`. Recognized pyproject keys (dashes and
+underscores are interchangeable)::
+
+    [tool.repro-lint]
+    paths = ["src", "tests"]          # default lint targets for the CLI
+    select = ["RNG001", ...]          # default rule selection (omit = all)
+    ignore = ["FLT001"]               # rules dropped everywhere
+    exclude = ["tests/lint/fixtures"] # path prefixes never discovered
+    float-sentinels = [1.0]           # FLT001 whitelisted literals
+
+    [tool.repro-lint.per-path-ignores]
+    "tests/" = ["FLT001"]             # rules dropped under a path prefix
+
+CLI ``--select``/``--ignore`` override the config-file selection. Paths in
+the config are interpreted relative to the project root (the directory
+holding pyproject.toml).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Mapping
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback, config is optional
+    tomllib = None
+
+#: Directory names never descended into during file discovery.
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "results"}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration (defaults merged with pyproject + CLI)."""
+
+    root: Path = field(default_factory=Path.cwd)
+    paths: "tuple[str, ...]" = ("src", "tests", "examples", "benchmarks")
+    select: "tuple[str, ...] | None" = None  # None = every registered rule
+    ignore: "tuple[str, ...]" = ()
+    exclude: "tuple[str, ...]" = ()
+    per_path_ignores: "Mapping[str, tuple[str, ...]]" = field(default_factory=dict)
+    float_sentinels: "tuple[float, ...]" = ()
+
+    def with_overrides(
+        self,
+        select: "Iterable[str] | None" = None,
+        ignore: "Iterable[str] | None" = None,
+    ) -> "LintConfig":
+        """CLI-level overrides: ``--select`` replaces, ``--ignore`` extends."""
+        out = self
+        if select is not None:
+            out = replace(out, select=tuple(_upper(select)))
+        if ignore is not None:
+            out = replace(out, ignore=tuple(self.ignore) + tuple(_upper(ignore)))
+        return out
+
+    def rules_for(self, relpath: str, registered: "Iterable[str]") -> "set[str]":
+        """Rule ids active for the file at ``relpath`` (posix-style)."""
+        active = set(self.select) if self.select is not None else set(registered)
+        active -= set(self.ignore)
+        normalized = _normalize(relpath)
+        for prefix, rules in self.per_path_ignores.items():
+            if _prefix_match(normalized, prefix):
+                active -= set(rules)
+        return active
+
+    def is_excluded(self, relpath: str) -> bool:
+        normalized = _normalize(relpath)
+        if any(part in SKIP_DIRS or part.startswith(".") for part in normalized.split("/")):
+            return True
+        return any(_prefix_match(normalized, prefix) for prefix in self.exclude)
+
+
+def _upper(rules: Iterable[str]) -> "list[str]":
+    return [r.strip().upper() for r in rules if r.strip()]
+
+
+def _normalize(path: str) -> str:
+    normalized = str(path).replace("\\", "/")
+    while normalized.startswith("./"):
+        normalized = normalized[2:]
+    return normalized
+
+
+def _prefix_match(relpath: str, prefix: str) -> bool:
+    prefix = _normalize(prefix).rstrip("/")
+    return relpath == prefix or relpath.startswith(prefix + "/")
+
+
+def find_project_root(start: "Path | None" = None) -> Path:
+    """The nearest ancestor of ``start`` containing a pyproject.toml."""
+    here = Path(start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
+
+
+def load_config(root: "Path | None" = None) -> LintConfig:
+    """Build a :class:`LintConfig` from ``<root>/pyproject.toml``.
+
+    A missing file, missing ``[tool.repro-lint]`` table, or an interpreter
+    without :mod:`tomllib` all yield the defaults -- configuration is an
+    overlay, never a requirement.
+    """
+    root = find_project_root(root) if root is None else Path(root)
+    table: "Mapping[str, object]" = {}
+    pyproject = root / "pyproject.toml"
+    if tomllib is not None and pyproject.is_file():
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+        table = data.get("tool", {}).get("repro-lint", {})
+    normalized = {str(key).replace("-", "_"): value for key, value in table.items()}
+    per_path = {
+        _normalize(path): tuple(_upper(rules))
+        for path, rules in dict(normalized.get("per_path_ignores", {})).items()
+    }
+    select = normalized.get("select")
+    return LintConfig(
+        root=root,
+        paths=tuple(str(p) for p in normalized.get("paths", LintConfig.paths)),
+        select=tuple(_upper(select)) if select is not None else None,
+        ignore=tuple(_upper(normalized.get("ignore", ()))),
+        exclude=tuple(_normalize(str(p)) for p in normalized.get("exclude", ())),
+        per_path_ignores=per_path,
+        float_sentinels=tuple(float(v) for v in normalized.get("float_sentinels", ())),
+    )

@@ -1,0 +1,84 @@
+"""File discovery and the whole-tree lint entry point.
+
+:func:`lint_paths` is what the CLI and CI call: it expands the requested
+paths (files or directory trees) into Python sources, skips the
+configuration's excluded prefixes, lints every file, and returns a
+:class:`LintResult` with deterministic (path, line) ordering regardless of
+filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Violation, lint_source
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: "tuple[Violation, ...]" = ()
+    files_checked: int = 0
+    files: "tuple[str, ...]" = field(default=(), repr=False)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def relative_path(path: Path, config: LintConfig) -> str:
+    """The posix-style path rules and reports see, relative to the root."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path(config.root).resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def discover_files(paths: "Iterable[str | Path]", config: LintConfig) -> "list[Path]":
+    """Expand files/directories into the sorted list of lintable sources."""
+    seen: "dict[str, Path]" = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"lint target {path} does not exist")
+        for candidate in candidates:
+            relpath = relative_path(candidate, config)
+            if config.is_excluded(relpath):
+                continue
+            seen.setdefault(relpath, candidate)
+    return [seen[relpath] for relpath in sorted(seen)]
+
+
+def lint_file(path: "str | Path", config: "LintConfig | None" = None) -> "list[Violation]":
+    """Lint one on-disk file (path-scoped rules see its project relpath)."""
+    config = config or LintConfig()
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, relative_path(path, config), config)
+
+
+def lint_paths(
+    paths: "Iterable[str | Path] | None" = None,
+    config: "LintConfig | None" = None,
+) -> LintResult:
+    """Lint whole trees; ``paths=None`` uses the configured defaults."""
+    config = config or LintConfig()
+    targets = list(paths) if paths else [Path(config.root) / p for p in config.paths]
+    files = discover_files(targets, config)
+    violations: "list[Violation]" = []
+    for path in files:
+        violations.extend(lint_file(path, config))
+    return LintResult(
+        violations=tuple(sorted(violations)),
+        files_checked=len(files),
+        files=tuple(relative_path(f, config) for f in files),
+    )

@@ -133,13 +133,15 @@ def registered_modeler(name: str) -> RegisteredModeler:
         ) from None
 
 
-def create_modeler(spec: str, **overrides):
-    """Build a modeler from a spec string, e.g. ``"adaptive(top_k=5)"``.
+def validate_spec(spec: str, **overrides) -> "tuple[RegisteredModeler, dict[str, object]]":
+    """Parse and resolve a spec *without* building the modeler.
 
-    ``overrides`` are merged over the spec's keywords -- the escape hatch
-    for values without a string form (a shared pretrained network object, a
-    pre-built sub-modeler). Unknown names and unknown keywords raise a
-    :class:`ValueError` naming the valid alternatives.
+    Performs the full validation :func:`create_modeler` applies -- spec
+    grammar, registered name, keyword names against the factory signature
+    -- and returns the registry entry plus the merged keyword dict. This is
+    the seam the static-analysis pass (rule SPEC001 in :mod:`repro.lint`)
+    shares with the runtime, so lint-time and run-time acceptance can never
+    drift apart. Raises :class:`ValueError` naming the valid alternatives.
     """
     _ensure_builtins()
     name, kwargs = parse_spec(spec)
@@ -158,6 +160,18 @@ def create_modeler(spec: str, **overrides):
                 f"unknown keyword(s) {', '.join(unknown)} for modeler {name!r}: "
                 f"accepted keywords are {', '.join(parameters) or '(none)'}"
             )
+    return entry, kwargs
+
+
+def create_modeler(spec: str, **overrides):
+    """Build a modeler from a spec string, e.g. ``"adaptive(top_k=5)"``.
+
+    ``overrides`` are merged over the spec's keywords -- the escape hatch
+    for values without a string form (a shared pretrained network object, a
+    pre-built sub-modeler). Unknown names and unknown keywords raise a
+    :class:`ValueError` naming the valid alternatives.
+    """
+    entry, kwargs = validate_spec(spec, **overrides)
     return entry.factory(**kwargs)
 
 

@@ -20,7 +20,9 @@ from repro.noise.injection import (
     SystematicErrorNoise,
 )
 from repro.noise.estimation import (
+    DEFAULT_BIAS_SEED,
     estimate_noise_level,
+    estimate_noise_level_corrected,
     noise_levels_per_point,
     NoiseSummary,
     summarize_noise,
@@ -37,7 +39,9 @@ __all__ = [
     "GammaLevelNoise",
     "LognormalSpikeNoise",
     "SystematicErrorNoise",
+    "DEFAULT_BIAS_SEED",
     "estimate_noise_level",
+    "estimate_noise_level_corrected",
     "noise_levels_per_point",
     "NoiseSummary",
     "summarize_noise",

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.experiment.experiment import Experiment, Kernel
 from repro.experiment.measurement import Measurement
+from repro.util.seeding import as_generator
 
 
 def _measurement_list(
@@ -121,8 +122,18 @@ def summarize_noise(
     )
 
 
-@lru_cache(maxsize=256)
-def repetition_bias_factor(repetitions: int, n_points: int = 1, trials: int = 3000) -> float:
+#: Default seed of the bias-factor Monte-Carlo simulation. Kept as an
+#: explicit constant so callers that thread their own generator can still
+#: reproduce the historical cached values by passing ``rng=DEFAULT_BIAS_SEED``.
+DEFAULT_BIAS_SEED = 0xB1A5
+
+
+def repetition_bias_factor(
+    repetitions: int,
+    n_points: int = 1,
+    trials: int = 3000,
+    rng: "np.random.Generator | int | None" = DEFAULT_BIAS_SEED,
+) -> float:
     """Expected ``rrd / n`` ratio for uniform noise -- the estimator's bias.
 
     With few points the deviations cannot span the full noise range, so rrd
@@ -131,14 +142,31 @@ def repetition_bias_factor(repetitions: int, n_points: int = 1, trials: int = 30
     lets individual deviations exceed ``n/2`` (``u_i - ū`` has support
     ``(-n, n)``), so the pooled range *over*-shoots the level by up to
     ~25 %. No convenient closed form covers both regimes, so the factor is
-    estimated once per ``(repetitions, n_points)`` by a seeded Monte-Carlo
-    simulation and cached.
+    estimated by Monte-Carlo simulation.
+
+    ``rng`` follows the library-wide convention (:mod:`repro.util.seeding`):
+    a generator, an integer seed, or ``None``. Integer seeds (including the
+    default) are memoized per ``(repetitions, n_points, trials, seed)``;
+    generator/``None`` arguments bypass the memo, since their draws are
+    caller-controlled state.
     """
     if repetitions < 1 or n_points < 1:
         raise ValueError("repetitions and n_points must be positive")
     if repetitions == 1:
         return 0.0
-    gen = np.random.default_rng(0xB1A5)
+    if isinstance(rng, (int, np.integer)):
+        return _bias_factor_seeded(repetitions, n_points, trials, int(rng))
+    return _simulate_bias_factor(repetitions, n_points, trials, as_generator(rng))
+
+
+@lru_cache(maxsize=256)
+def _bias_factor_seeded(repetitions: int, n_points: int, trials: int, seed: int) -> float:
+    return _simulate_bias_factor(repetitions, n_points, trials, as_generator(seed))
+
+
+def _simulate_bias_factor(
+    repetitions: int, n_points: int, trials: int, gen: np.random.Generator
+) -> float:
     u = gen.uniform(-0.5, 0.5, size=(trials, n_points, repetitions))
     centered = (u - u.mean(axis=2, keepdims=True)).reshape(trials, -1)
     rrd = centered.max(axis=1) - centered.min(axis=1)
@@ -147,15 +175,16 @@ def repetition_bias_factor(repetitions: int, n_points: int = 1, trials: int = 30
 
 def estimate_noise_level_corrected(
     source: "Experiment | Kernel | Iterable[Measurement]",
+    rng: "np.random.Generator | int | None" = DEFAULT_BIAS_SEED,
 ) -> float:
     """Bias-corrected variant of :func:`estimate_noise_level`.
 
-    Divides the raw rrd by :func:`repetition_bias_factor`; an extension
-    beyond the paper (which uses the raw heuristic), exposed for the
-    estimator ablation benchmark.
+    Divides the raw rrd by :func:`repetition_bias_factor` (whose simulation
+    stream ``rng`` controls); an extension beyond the paper (which uses the
+    raw heuristic), exposed for the estimator ablation benchmark.
     """
     measurements = _measurement_list(source)
     raw = estimate_noise_level(measurements)
     reps = int(round(float(np.mean([m.repetitions for m in measurements]))))
-    factor = repetition_bias_factor(max(reps, 2), len(measurements))
+    factor = repetition_bias_factor(max(reps, 2), len(measurements), rng=rng)
     return raw / factor if factor > 0 else raw

@@ -199,6 +199,9 @@ def _run_chunk(chunk: "list[tuple[int, Any]]") -> "list[tuple[int, bool, Any, An
         try:
             faults.fault_point("engine.task")
             records.append((index, True, fn(item), None))
+        # repro-lint: disable-next-line=EXC001 -- not swallowed: the failure is
+        # captured into the task record (message + traceback) and the driver
+        # re-raises it as TaskError or marks the task, per the on_error policy.
         except Exception as exc:
             records.append((index, False, None, (_describe(exc), traceback.format_exc())))
     return records

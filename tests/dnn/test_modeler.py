@@ -60,9 +60,21 @@ class TestBatchedClassification:
 
         empty = Experiment(["p"]).create_kernel("empty")
         good = clean_experiment_1p.only_kernel()
-        batch = modeler.classify_batch([empty, good], 1)
+        with pytest.warns(RuntimeWarning, match="could not be encoded"):
+            batch = modeler.classify_batch([empty, good], 1)
         assert batch[0] is None
         assert batch[1] is not None
+
+    def test_encode_failures_surface_as_warning(self, modeler, clean_experiment_1p):
+        empty = Experiment(["p"]).create_kernel("bad_kernel")
+        with pytest.warns(RuntimeWarning) as record:
+            modeler.classify_batch([empty], 1)
+        messages = [str(w.message) for w in record]
+        assert any("1 of 1 kernel(s)" in m and "bad_kernel" in m for m in messages)
+
+    def test_no_warning_when_all_kernels_encode(self, modeler, clean_experiment_1p, recwarn):
+        modeler.classify_batch([clean_experiment_1p.only_kernel()], 1)
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
 
     def test_cache_stats_exposed(self, modeler, clean_experiment_1p):
         modeler.classify_batch([clean_experiment_1p.only_kernel()], 1)

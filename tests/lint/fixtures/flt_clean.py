@@ -1,0 +1,10 @@
+"""FLT001 clean fixture: tolerances and integer comparisons."""
+import math
+
+
+def check(x, y):
+    if math.isclose(x, 1.5):
+        return True
+    if abs(y) > 1e-12:
+        return False
+    return x == 0 and x <= 1.5

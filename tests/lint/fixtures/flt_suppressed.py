@@ -1,0 +1,9 @@
+"""FLT001 suppressed fixture: a justified exact-zero guard."""
+
+
+def safe_divide(num, mean):
+    # repro-lint: disable-next-line=FLT001 -- fixture rationale: exact 0.0
+    # guard against division by a bitwise-zero denominator
+    if mean == 0.0:
+        return 0.0
+    return num / mean

@@ -1,0 +1,9 @@
+"""FLT001 fixture: exact float-literal comparisons."""
+
+
+def check(x, y):
+    if x == 1.5:
+        return True
+    if y != 0.0:
+        return False
+    return -2.5 == x

@@ -1,0 +1,14 @@
+"""IO001 clean fixture: reads are fine, writes go through the atomic layer."""
+import json
+
+from repro.util.artifacts import atomic_write_json, atomic_write_text
+
+
+def dump(path, payload):
+    atomic_write_json(path, payload)
+    atomic_write_text(str(path) + ".txt", "done")
+
+
+def load(path):
+    with open(path) as handle:  # reading is out of scope
+        return json.load(handle)

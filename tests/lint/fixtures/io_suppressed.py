@@ -1,0 +1,12 @@
+"""IO001 suppressed fixture: buffer-only serialization with rationale."""
+import io
+
+import numpy as np
+
+
+def serialize(arr):
+    buffer = io.BytesIO()
+    # repro-lint: disable-next-line=IO001 -- fixture rationale: in-memory
+    # buffer only, the caller hands the bytes to atomic_write_bytes
+    np.save(buffer, arr)
+    return buffer.getvalue()

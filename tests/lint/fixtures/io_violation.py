@@ -1,0 +1,12 @@
+"""IO001 fixture: raw artifact writes (linted as library code)."""
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def dump(path, payload, arr):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    np.save(str(path) + ".npy", arr)
+    Path(str(path) + ".txt").write_text("done")

@@ -1,0 +1,13 @@
+"""PMNF001 clean fixture: in-space literals; computed pairs are skipped."""
+from fractions import Fraction as F
+
+from repro.pmnf.terms import ExponentPair
+
+CONSTANT = ExponentPair(0, 0)
+LINEAR_LOG = ExponentPair(1, 1)
+FRACTIONAL = ExponentPair(F(3, 2), 2)
+KEYWORDS = ExponentPair(i=F(11, 4), j=0)
+
+
+def combine(a, b):
+    return ExponentPair(a.i + b.i, a.j + b.j)  # not literal: out of static reach

@@ -1,0 +1,6 @@
+"""PMNF001 suppressed fixture: out-of-space pair with rationale."""
+from repro.pmnf.terms import ExponentPair
+
+# repro-lint: disable-next-line=PMNF001 -- fixture rationale: deliberately
+# out-of-space pair used to probe nearest-class snapping
+PROBE = ExponentPair(9, 0)

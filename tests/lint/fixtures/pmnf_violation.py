@@ -1,0 +1,8 @@
+"""PMNF001 fixture: exponent pairs outside the 43-pair search space."""
+from fractions import Fraction
+
+from repro.pmnf.terms import ExponentPair
+
+TOO_STEEP = ExponentPair(7, 0)
+BAD_LOG = ExponentPair(Fraction(4, 5), 1)
+NEGATIVE = ExponentPair(-1, 0)

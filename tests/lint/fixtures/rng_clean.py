@@ -1,0 +1,13 @@
+"""RNG001 clean fixture: generators arrive as parameters."""
+import numpy as np
+
+from repro.util.seeding import as_generator
+
+
+def draw(n, rng=None):
+    gen = as_generator(rng)
+    return gen.uniform(-0.5, 0.5, size=n)
+
+
+def is_generator(value):
+    return isinstance(value, np.random.Generator)

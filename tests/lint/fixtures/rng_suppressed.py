@@ -1,0 +1,10 @@
+"""RNG001 suppressed fixture: the same violations, each with a rationale."""
+import numpy as np
+
+# repro-lint: disable-next-line=RNG001 -- fixture rationale: frozen legacy seed
+GEN = np.random.default_rng(0xBAD)
+
+
+def draw(n):
+    noise = np.random.rand(n)  # repro-lint: disable=RNG001 -- fixture rationale
+    return noise

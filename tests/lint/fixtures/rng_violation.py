@@ -1,0 +1,12 @@
+"""RNG001 fixture: every form of ad-hoc randomness (linted as library code)."""
+import random
+
+import numpy as np
+
+GEN = np.random.default_rng(0xBAD)
+
+
+def draw(n):
+    np.random.seed(7)
+    noise = np.random.rand(n)
+    return noise * random.random()

@@ -1,0 +1,10 @@
+"""SPEC001 clean fixture: resolvable specs; dynamic strings are skipped."""
+from repro.modeling.registry import create_modeler, create_modelers
+
+
+def build(dynamic_spec):
+    single = create_modeler("dnn(top_k=5)")
+    batch = create_modelers(["regression", "adaptive(use_domain_adaptation=false)"])
+    mapping = create_modelers({"baseline": "gpr(n_restarts=2)"})
+    dynamic = create_modeler(dynamic_spec)  # not a literal: out of static reach
+    return single, batch, mapping, dynamic

@@ -1,0 +1,11 @@
+"""SPEC001 suppressed fixture: a deliberately-invalid spec with rationale."""
+import pytest
+
+from repro.modeling.registry import create_modeler
+
+
+def test_error_message():
+    with pytest.raises(ValueError):
+        # repro-lint: disable-next-line=SPEC001 -- fixture rationale: the
+        # invalid spec is the point of the test
+        create_modeler("nope")

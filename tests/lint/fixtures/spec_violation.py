@@ -1,0 +1,10 @@
+"""SPEC001 fixture: spec strings that do not resolve against the registry."""
+from repro.modeling.registry import create_modeler, create_modelers
+
+
+def build():
+    bad_name = create_modeler("nope")
+    bad_kwarg = create_modeler("regression(frobnicate=1)")
+    batch = create_modelers(["gpr", "dnn(tok_k=5)"])
+    mapping = create_modelers({"a": "adaptive(bogus=true)"})
+    return bad_name, bad_kwarg, batch, mapping

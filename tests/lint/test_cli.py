@@ -1,0 +1,79 @@
+"""CLI surface: ``repro-model lint`` exit codes, formats, selection flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "import math\n\n\ndef ok(x):\n    return math.isclose(x, 1.5)\n"
+DIRTY = "def bad(x):\n    return x == 1.5\n"
+
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    """A hermetic mini-project the lint subcommand runs against."""
+    (tmp_path / "pyproject.toml").write_text("[tool.repro-lint]\npaths = ['pkg']\n")
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "clean.py").write_text(CLEAN)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, project, capsys):
+        assert main(["lint"]) == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, project, capsys):
+        (project / "pkg" / "dirty.py").write_text(DIRTY)
+        assert main(["lint"]) == 1
+        out = capsys.readouterr().out
+        assert "FLT001" in out and "dirty.py" in out
+
+    def test_unknown_rule_exits_two(self, project, capsys):
+        assert main(["lint", "--select", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, project, capsys):
+        assert main(["lint", "does-not-exist"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestFlags:
+    def test_explicit_paths_override_config(self, project, capsys):
+        other = project / "other"
+        other.mkdir()
+        (other / "dirty.py").write_text(DIRTY)
+        assert main(["lint", "pkg"]) == 0
+        assert main(["lint", "other"]) == 1
+
+    def test_ignore_silences_rule(self, project):
+        (project / "pkg" / "dirty.py").write_text(DIRTY)
+        assert main(["lint", "--ignore", "FLT001"]) == 0
+
+    def test_select_restricts_rules(self, project):
+        (project / "pkg" / "dirty.py").write_text(DIRTY)
+        assert main(["lint", "--select", "RNG001,IO001"]) == 0
+        assert main(["lint", "--select", "flt001"]) == 1
+
+    def test_json_format(self, project, capsys):
+        (project / "pkg" / "dirty.py").write_text(DIRTY)
+        assert main(["lint", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        assert payload["counts"] == {"FLT001": 1}
+        assert payload["violations"][0]["rule"] == "FLT001"
+        assert payload["violations"][0]["path"] == "pkg/dirty.py"
+
+    def test_config_per_path_ignores_respected(self, project):
+        (project / "pyproject.toml").write_text(
+            "[tool.repro-lint]\npaths = ['pkg']\n"
+            "[tool.repro-lint.per-path-ignores]\n\"pkg/\" = ['FLT001']\n"
+        )
+        (project / "pkg" / "dirty.py").write_text(DIRTY)
+        assert main(["lint"]) == 0

@@ -1,0 +1,110 @@
+"""Configuration loading ([tool.repro-lint]) and path scoping."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.config import LintConfig, find_project_root, load_config
+
+PYPROJECT = """\
+[tool.repro-lint]
+paths = ["src", "tests"]
+select = ["RNG001", "FLT001"]
+ignore = ["IO001"]
+exclude = ["tests/lint/fixtures", "./scratch"]
+float-sentinels = [1.0, -1.0]
+
+[tool.repro-lint.per-path-ignores]
+"tests/" = ["flt001"]
+"""
+
+
+def write_pyproject(tmp_path: Path, text: str = PYPROJECT) -> Path:
+    (tmp_path / "pyproject.toml").write_text(text)
+    return tmp_path
+
+
+class TestLoadConfig:
+    def test_full_table(self, tmp_path):
+        config = load_config(write_pyproject(tmp_path))
+        assert config.root == tmp_path
+        assert config.paths == ("src", "tests")
+        assert config.select == ("RNG001", "FLT001")
+        assert config.ignore == ("IO001",)
+        assert config.exclude == ("tests/lint/fixtures", "scratch")
+        assert config.float_sentinels == (1.0, -1.0)
+        assert config.per_path_ignores == {"tests/": ("FLT001",)}
+
+    def test_missing_table_yields_defaults(self, tmp_path):
+        write_pyproject(tmp_path, "[project]\nname = 'x'\n")
+        config = load_config(tmp_path)
+        assert config.select is None
+        assert config.ignore == ()
+        assert config.paths == LintConfig.paths
+
+    def test_missing_file_yields_defaults(self, tmp_path):
+        config = load_config(tmp_path)
+        assert config.select is None
+        assert config.exclude == ()
+
+
+class TestRuleSelection:
+    REGISTERED = ("RNG001", "IO001", "EXC001", "FLT001")
+
+    def test_default_selects_all(self):
+        config = LintConfig()
+        assert config.rules_for("src/x.py", self.REGISTERED) == set(self.REGISTERED)
+
+    def test_select_and_ignore(self):
+        config = LintConfig(select=("RNG001", "IO001"), ignore=("IO001",))
+        assert config.rules_for("src/x.py", self.REGISTERED) == {"RNG001"}
+
+    def test_per_path_ignores_prefix(self):
+        config = LintConfig(per_path_ignores={"tests/": ("FLT001",)})
+        assert "FLT001" not in config.rules_for("tests/a/test_b.py", self.REGISTERED)
+        assert "FLT001" in config.rules_for("src/a.py", self.REGISTERED)
+
+    def test_per_path_ignores_exact_file(self):
+        config = LintConfig(per_path_ignores={"src/x.py": ("RNG001",)})
+        assert "RNG001" not in config.rules_for("src/x.py", self.REGISTERED)
+        assert "RNG001" in config.rules_for("src/xy.py", self.REGISTERED)
+
+
+class TestExclusion:
+    def test_configured_prefix(self):
+        config = LintConfig(exclude=("tests/lint/fixtures",))
+        assert config.is_excluded("tests/lint/fixtures/rng_violation.py")
+        assert not config.is_excluded("tests/lint/test_rules.py")
+
+    def test_builtin_skips(self):
+        config = LintConfig()
+        assert config.is_excluded("src/__pycache__/x.py")
+        assert config.is_excluded(".venv/lib/x.py")
+        assert config.is_excluded("benchmarks/results/x.py")
+        assert not config.is_excluded("src/repro/cli.py")
+
+
+class TestOverrides:
+    def test_select_replaces_ignore_extends(self):
+        config = LintConfig(select=("RNG001",), ignore=("IO001",))
+        updated = config.with_overrides(select=["exc001"], ignore=["flt001"])
+        assert updated.select == ("EXC001",)
+        assert updated.ignore == ("IO001", "FLT001")
+
+    def test_none_keeps_configured(self):
+        config = LintConfig(select=("RNG001",))
+        assert config.with_overrides() is config
+
+
+class TestProjectRoot:
+    def test_walks_up_to_pyproject(self, tmp_path):
+        write_pyproject(tmp_path)
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        assert find_project_root(nested) == tmp_path
+
+    def test_falls_back_to_start(self, tmp_path):
+        # No pyproject anywhere up the (tmp) tree guaranteed is hard; at
+        # minimum the result is an existing ancestor-or-self directory.
+        root = find_project_root(tmp_path)
+        assert root == tmp_path or root in tmp_path.parents

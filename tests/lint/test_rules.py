@@ -1,0 +1,253 @@
+"""Per-rule contract: fires on the violating fixture, silent on the clean
+and suppressed ones, and honours its path scoping."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.lint import LintConfig, lint_source
+from tests.lint.conftest import LIBRARY_PATH
+
+
+def rules_fired(source, relpath="src/repro/fake/module.py", config=None):
+    return [v.rule for v in lint_source(source, relpath, config or LintConfig())]
+
+
+def lint_fixture(read, name, relpath=None, config=None):
+    return rules_fired(read(name), relpath or LIBRARY_PATH.format(name=name), config)
+
+
+class TestRNG001:
+    def test_fires_on_violation(self, fixture_source):
+        fired = lint_fixture(fixture_source, "rng_violation.py")
+        # default_rng literal, np.random.seed, np.random.rand, random.random
+        assert fired.count("RNG001") == 4
+
+    def test_silent_on_clean(self, fixture_source):
+        assert lint_fixture(fixture_source, "rng_clean.py") == []
+
+    def test_silent_when_suppressed(self, fixture_source):
+        assert lint_fixture(fixture_source, "rng_suppressed.py") == []
+
+    def test_default_rng_allowed_outside_library(self, fixture_source):
+        # Tests/examples ARE the seed-controlling callers: building a
+        # generator is fine there, global-state randomness is not.
+        fired = lint_fixture(
+            fixture_source, "rng_violation.py", relpath="tests/fake/test_x.py"
+        )
+        assert fired.count("RNG001") == 3  # seed, rand, random.random
+
+    def test_seeding_module_is_exempt(self, fixture_source):
+        fired = lint_fixture(
+            fixture_source, "rng_violation.py", relpath="src/repro/util/seeding.py"
+        )
+        assert fired == []
+
+    def test_random_attribute_without_import_is_ignored(self):
+        # ``random`` here is a local object, not the stdlib module.
+        source = "def f(rng):\n    return rng.random.random()\n"
+        assert rules_fired(source) == []
+
+    def test_from_numpy_random_import_fires(self):
+        source = "from numpy.random import default_rng\n"
+        assert rules_fired(source) == ["RNG001"]
+
+
+class TestIO001:
+    def test_fires_on_violation(self, fixture_source):
+        fired = lint_fixture(fixture_source, "io_violation.py")
+        # open(.., "w"), json.dump, np.save, Path.write_text
+        assert fired.count("IO001") == 4
+
+    def test_silent_on_clean(self, fixture_source):
+        assert lint_fixture(fixture_source, "io_clean.py") == []
+
+    def test_silent_when_suppressed(self, fixture_source):
+        assert lint_fixture(fixture_source, "io_suppressed.py") == []
+
+    def test_scoped_to_library_code(self, fixture_source):
+        fired = lint_fixture(
+            fixture_source, "io_violation.py", relpath="tests/fake/test_io.py"
+        )
+        assert fired == []
+
+    def test_artifacts_module_is_exempt(self, fixture_source):
+        fired = lint_fixture(
+            fixture_source, "io_violation.py", relpath="src/repro/util/artifacts.py"
+        )
+        assert fired == []
+
+    def test_mode_keyword_detected(self):
+        source = "def f(p):\n    open(p, mode='wb').close()\n"
+        assert rules_fired(source) == ["IO001"]
+
+    def test_read_modes_allowed(self):
+        source = "def f(p):\n    open(p).close()\n    open(p, 'rb').close()\n    open(p, 'a').close()\n"
+        assert rules_fired(source) == []
+
+
+class TestEXC001:
+    def test_fires_on_violation(self, fixture_source):
+        fired = lint_fixture(fixture_source, "exc_violation.py")
+        assert fired.count("EXC001") == 2  # except Exception + bare except
+
+    def test_silent_on_clean(self, fixture_source):
+        assert lint_fixture(fixture_source, "exc_clean.py") == []
+
+    def test_silent_when_suppressed(self, fixture_source):
+        assert lint_fixture(fixture_source, "exc_suppressed.py") == []
+
+    def test_applies_outside_library_too(self, fixture_source):
+        fired = lint_fixture(
+            fixture_source, "exc_violation.py", relpath="examples/fake.py"
+        )
+        assert fired.count("EXC001") == 2
+
+    def test_logging_method_counts_as_surfacing(self):
+        source = (
+            "def f(fn, logger):\n"
+            "    try:\n"
+            "        fn()\n"
+            "    except Exception:\n"
+            "        logger.warning('failed')\n"
+        )
+        assert rules_fired(source) == []
+
+    def test_tuple_with_broad_member_fires(self):
+        source = (
+            "def f(fn):\n"
+            "    try:\n"
+            "        fn()\n"
+            "    except (ValueError, Exception):\n"
+            "        pass\n"
+        )
+        assert rules_fired(source) == ["EXC001"]
+
+
+class TestFLT001:
+    def test_fires_on_violation(self, fixture_source):
+        fired = lint_fixture(fixture_source, "flt_violation.py")
+        assert fired.count("FLT001") == 3
+
+    def test_silent_on_clean(self, fixture_source):
+        assert lint_fixture(fixture_source, "flt_clean.py") == []
+
+    def test_silent_when_suppressed(self, fixture_source):
+        assert lint_fixture(fixture_source, "flt_suppressed.py") == []
+
+    def test_sentinel_whitelist(self, fixture_source):
+        config = replace(LintConfig(), float_sentinels=(0.0,))
+        fired = lint_fixture(fixture_source, "flt_violation.py", config=config)
+        assert fired.count("FLT001") == 2  # the != 0.0 site is whitelisted
+
+    def test_negative_literal_detected(self):
+        assert rules_fired("x = 1\ny = x == -2.5\n") == ["FLT001"]
+
+    def test_integer_comparisons_allowed(self):
+        assert rules_fired("def f(x):\n    return x == 0 or x != 12\n") == []
+
+
+class TestSPEC001:
+    def test_fires_on_violation(self, fixture_source):
+        fired = lint_fixture(fixture_source, "spec_violation.py")
+        assert fired.count("SPEC001") == 4
+
+    def test_silent_on_clean(self, fixture_source):
+        assert lint_fixture(fixture_source, "spec_clean.py") == []
+
+    def test_silent_when_suppressed(self, fixture_source):
+        assert lint_fixture(fixture_source, "spec_suppressed.py") == []
+
+    def test_message_names_the_registry_error(self, fixture_source):
+        violations = lint_source(
+            fixture_source("spec_violation.py"), "examples/fake.py", LintConfig()
+        )
+        messages = [v.message for v in violations]
+        assert any("unknown modeler 'nope'" in m for m in messages)
+        assert any("frobnicate" in m for m in messages)
+
+    def test_malformed_spec_grammar_fires(self):
+        source = "from repro.modeling.registry import create_modeler\n" \
+                 "m = create_modeler('dnn(top_k=)')\n"
+        assert rules_fired(source) == ["SPEC001"]
+
+
+class TestPMNF001:
+    def test_fires_on_violation(self, fixture_source):
+        fired = lint_fixture(fixture_source, "pmnf_violation.py")
+        assert fired.count("PMNF001") == 3
+
+    def test_silent_on_clean(self, fixture_source):
+        assert lint_fixture(fixture_source, "pmnf_clean.py") == []
+
+    def test_silent_when_suppressed(self, fixture_source):
+        assert lint_fixture(fixture_source, "pmnf_suppressed.py") == []
+
+    def test_searchspace_module_is_exempt(self, fixture_source):
+        fired = lint_fixture(
+            fixture_source,
+            "pmnf_violation.py",
+            relpath="src/repro/pmnf/searchspace.py",
+        )
+        assert fired == []
+
+    def test_float_literal_exponent_resolved(self):
+        # 1.5 snaps to Fraction(3, 2): in space with j <= 2.
+        assert rules_fired("from repro.pmnf.terms import ExponentPair\np = ExponentPair(1.5, 2)\n") == []
+        assert rules_fired("from repro.pmnf.terms import ExponentPair\np = ExponentPair(1.5, 3)\n") == ["PMNF001"]
+
+
+class TestLiveViolationRegressions:
+    """Re-introducing either historical violation must fail the lint gate."""
+
+    def test_estimation_hardcoded_rng_would_fire(self):
+        source = (
+            "import numpy as np\n"
+            "def repetition_bias_factor(repetitions):\n"
+            "    gen = np.random.default_rng(0xB1A5)\n"
+            "    return gen\n"
+        )
+        fired = rules_fired(source, relpath="src/repro/noise/estimation.py")
+        assert fired == ["RNG001"]
+
+    def test_modeler_swallowed_encode_failure_would_fire(self):
+        source = (
+            "def classify_batch(self, kernels, n_params):\n"
+            "    encoded = []\n"
+            "    for kernel in kernels:\n"
+            "        try:\n"
+            "            encoded.append(self.encode_kernel(kernel, n_params))\n"
+            "        except Exception:\n"
+            "            encoded.append(None)\n"
+            "    return encoded\n"
+        )
+        fired = rules_fired(source, relpath="src/repro/dnn/modeler.py")
+        assert fired == ["EXC001"]
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_not_raised(self):
+        violations = lint_source("def broken(:\n", "src/repro/x.py", LintConfig())
+        assert [v.rule for v in violations] == ["PARSE"]
+        assert violations[0].line == 1
+
+
+class TestSelection:
+    def test_select_restricts(self, fixture_source):
+        config = replace(LintConfig(), select=("EXC001",))
+        fired = lint_fixture(fixture_source, "flt_violation.py", config=config)
+        assert fired == []
+
+    def test_ignore_drops(self, fixture_source):
+        config = replace(LintConfig(), ignore=("FLT001",))
+        fired = lint_fixture(fixture_source, "flt_violation.py", config=config)
+        assert fired == []
+
+    def test_per_path_ignores(self, fixture_source):
+        config = replace(LintConfig(), per_path_ignores={"src/repro/fake/": ("FLT001",)})
+        assert lint_fixture(fixture_source, "flt_violation.py", config=config) == []
+        fired = lint_fixture(
+            fixture_source, "flt_violation.py",
+            relpath="src/repro/real/flt.py", config=config,
+        )
+        assert fired.count("FLT001") == 3

@@ -131,6 +131,31 @@ class TestBiasCorrection:
         with pytest.raises(ValueError):
             repetition_bias_factor(0)
 
+    def test_explicit_seed_matches_default(self):
+        from repro.noise.estimation import DEFAULT_BIAS_SEED
+
+        assert repetition_bias_factor(5, 3) == repetition_bias_factor(
+            5, 3, rng=DEFAULT_BIAS_SEED
+        )
+
+    def test_generator_rng_accepted_and_seed_equivalent(self):
+        from repro.noise.estimation import DEFAULT_BIAS_SEED
+
+        via_gen = repetition_bias_factor(
+            5, 3, rng=np.random.default_rng(DEFAULT_BIAS_SEED)
+        )
+        assert via_gen == repetition_bias_factor(5, 3, rng=DEFAULT_BIAS_SEED)
+        # A different stream gives a (slightly) different Monte-Carlo factor
+        # but stays in the same ballpark.
+        other = repetition_bias_factor(5, 3, rng=np.random.default_rng(123))
+        assert other == pytest.approx(via_gen, rel=0.1)
+
+    def test_corrected_estimate_threads_rng(self):
+        kern = noisy_kernel(0.6, n_points=1, reps=5, seed=0)
+        a = estimate_noise_level_corrected(kern, rng=np.random.default_rng(7))
+        b = estimate_noise_level_corrected(kern, rng=np.random.default_rng(7))
+        assert a == b
+
 
 class TestPooledDeviations:
     def test_pooled_size(self):
