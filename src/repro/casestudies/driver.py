@@ -10,6 +10,8 @@ import numpy as np
 from repro.casestudies.base import SimulatedApplication
 from repro.modeling.registry import create_modelers
 from repro.noise.estimation import NoiseSummary, summarize_noise
+from repro.obs import recording, worker_recording
+from repro.obs.sink import TRACE_FILENAME, build_trace_records, write_trace
 from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
 from repro.regression.modeler import ModelResult
 from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
@@ -45,6 +47,9 @@ class CaseStudyResult:
     #: Wall-clock seconds per driver stage (campaign simulation, noise
     #: summary, modeling across all modelers).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Path of the telemetry trace artifact (``trace.jsonl``), set when the
+    #: study ran with telemetry enabled and a run directory.
+    trace_path: "str | None" = None
 
     def median_error(self, modeler: str) -> float:
         """Fig. 4 bar: median relative error over performance-relevant kernels."""
@@ -73,11 +78,13 @@ def _init_driver_worker(modeling, modelers: Mapping[str, object]) -> None:
     _DRIVER_STATE["modelers"] = modelers
 
 
-def _model_one_modeler(task) -> tuple[str, dict[str, ModelResult], float]:
+def _model_one_modeler(task):
     """Run one modeler over the whole modeling experiment (one engine task).
 
     Modelers with an adaptation cache are reset first so repeated driver
     runs stay comparable -- every run pays the same adaptation cost.
+    Returns ``(name, results, seconds)`` -- with a fourth telemetry-payload
+    element appended when telemetry is recording.
     """
     name, m_rng = task
     modeling = _DRIVER_STATE["modeling"]
@@ -87,8 +94,12 @@ def _model_one_modeler(task) -> tuple[str, dict[str, ModelResult], float]:
         dnn.reset_caches()
     elif hasattr(dnn, "_adapted"):
         dnn._adapted = {}
-    with Timer() as timer:
-        results = modeler.model_experiment(modeling, rng=m_rng)
+    with worker_recording() as tel:
+        with tel.tracer.span("casestudy.modeler", modeler=name):
+            with Timer() as timer:
+                results = modeler.model_experiment(modeling, rng=m_rng)
+    if tel.enabled:
+        return name, results, timer.elapsed, tel.export_payload()
     return name, results, timer.elapsed
 
 
@@ -146,54 +157,79 @@ def run_case_study(
     gen = as_generator(rng)
     stages = StageTimer()
     campaign_rng, *modeler_rngs = spawn_generators(gen, len(modelers) + 1)
-    with stages.time("campaign"):
-        campaign = application.run_campaign(campaign_rng)
-        modeling = application.modeling_experiment(campaign)
-    relevant = {k.name for k in application.relevant_kernels()}
+    with recording() as tel:
+        with tel.tracer.span(
+            "casestudy.run", application=application.name, modelers=len(modelers)
+        ):
+            with stages.time("campaign"), tel.tracer.span("casestudy.campaign"):
+                campaign = application.run_campaign(campaign_rng)
+                modeling = application.modeling_experiment(campaign)
+            relevant = {k.name for k in application.relevant_kernels()}
 
-    references = {
-        kern.name: kern.measurement_at(application.evaluation_point).median
-        for kern in campaign.kernels
-    }
-    with stages.time("noise"):
-        noise = summarize_noise(modeling)
+            references = {
+                kern.name: kern.measurement_at(application.evaluation_point).median
+                for kern in campaign.kernels
+            }
+            with stages.time("noise"), tel.tracer.span("casestudy.noise"):
+                noise = summarize_noise(modeling)
 
-    engine_config = engine or EngineConfig()
-    if processes is not None:
-        engine_config = replace(engine_config, processes=processes)
-    with stages.time("modeling"):
-        raw = run_tasks(
-            _model_one_modeler,
-            list(zip(modelers.keys(), modeler_rngs)),
-            engine_config,
-            initializer=_init_driver_worker,
-            initargs=(modeling, modelers),
-            progress=progress,
-            journal=journal,
-        )
+            engine_config = engine or EngineConfig()
+            if processes is not None:
+                engine_config = replace(engine_config, processes=processes)
+            with stages.time("modeling"):
+                with tel.tracer.span(
+                    "casestudy.engine", tasks=len(modelers)
+                ) as engine_span:
+                    raw = run_tasks(
+                        _model_one_modeler,
+                        list(zip(modelers.keys(), modeler_rngs)),
+                        engine_config,
+                        initializer=_init_driver_worker,
+                        initargs=(modeling, modelers),
+                        progress=progress,
+                        journal=journal,
+                    )
 
-    outcomes: list[KernelOutcome] = []
-    total_seconds: dict[str, float] = {}
-    eval_array = application.evaluation_point.as_array()
-    # Under on_error='mark' a crashed modeler degrades to a missing entry
-    # (its name absent from the result) instead of aborting the study.
-    for name, results, seconds in (r for r in raw if not isinstance(r, TaskFailure)):
-        total_seconds[name] = seconds
-        for kernel_name, result in results.items():
-            outcomes.append(
-                KernelOutcome(
-                    kernel=kernel_name,
-                    modeler=name,
-                    result=result,
-                    prediction=float(result.function.evaluate(eval_array)),
-                    reference=references[kernel_name],
-                    relevant=kernel_name in relevant,
-                )
-            )
-    return CaseStudyResult(
+            outcomes: list[KernelOutcome] = []
+            total_seconds: dict[str, float] = {}
+            eval_array = application.evaluation_point.as_array()
+            # Under on_error='mark' a crashed modeler degrades to a missing
+            # entry (its name absent from the result) instead of aborting the
+            # study. Journaled task payloads may be 3-tuples (telemetry off)
+            # or 4-tuples (telemetry on), independent of the current toggle.
+            for entry in (r for r in raw if not isinstance(r, TaskFailure)):
+                name, results, seconds = entry[0], entry[1], entry[2]
+                total_seconds[name] = seconds
+                if tel.enabled and len(entry) > 3:
+                    tel.absorb_payload(entry[3], engine_span.span_id)
+                for kernel_name, result in results.items():
+                    outcomes.append(
+                        KernelOutcome(
+                            kernel=kernel_name,
+                            modeler=name,
+                            result=result,
+                            prediction=float(result.function.evaluate(eval_array)),
+                            reference=references[kernel_name],
+                            relevant=kernel_name in relevant,
+                        )
+                    )
+    if tel.enabled:
+        tel.metrics.absorb_stage_seconds(stages.seconds, prefix="casestudy")
+    result = CaseStudyResult(
         application=application.name,
         noise=noise,
         outcomes=outcomes,
         total_seconds=total_seconds,
         stage_seconds=stages.seconds,
     )
+    if tel.enabled and journal is not None:
+        records = build_trace_records(
+            tel,
+            stage_seconds=stages.seconds,
+            meta={"kind": "casestudy", "run_id": journal.run_id},
+        )
+        trace_file = journal.directory / TRACE_FILENAME
+        digest = write_trace(trace_file, records)
+        journal.record_artifact("trace", TRACE_FILENAME, digest)
+        result.trace_path = str(trace_file)
+    return result

@@ -8,6 +8,7 @@ Subcommands::
     repro-model pretrain                         (re)build the cached generic network
     repro-model evaluate --params 1              synthetic sweep (Fig. 3 tables)
     repro-model casestudy kripke                 run a simulated case study
+    repro-model trace <run-dir>                  render a run's telemetry trace
 
 ``--method`` accepts any registered modeler spec string, e.g.
 ``--method "dnn(top_k=5)"``; ``repro-model methods`` lists them.
@@ -19,10 +20,22 @@ Experiment files may be JSON (``.json``) or the Extra-P style text format
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from repro.util.tables import render_table
+
+
+def _enable_telemetry_env() -> None:
+    """Turn the telemetry toggle on for this process and its pool workers.
+
+    The toggle travels through the environment (``REPRO_TELEMETRY``) so
+    forked worker processes inherit it without extra plumbing.
+    """
+    from repro.obs import ENV_VAR
+
+    os.environ[ENV_VAR] = "1"
 
 
 def _load_experiment(path: str, keep_going: bool = False, manifest=None):
@@ -166,6 +179,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         chunk_timeout=args.timeout,
         on_error="mark" if args.keep_going else "raise",
     )
+    if args.telemetry:
+        _enable_telemetry_env()
     result = run_sweep(
         config,
         modelers,
@@ -188,6 +203,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"\nstage wall-time: {breakdown}")
     if result.engine_failures:
         print(f"warning: {result.engine_failures} task batch(es) failed/timed out")
+    if result.trace_path:
+        print(f"telemetry trace: {result.trace_path} (render with 'repro-model trace')")
     return 0
 
 
@@ -323,6 +340,8 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
 
     application = ALL_STUDIES[args.name]()
     modelers = {"regression": "regression", "adaptive": "adaptive"}
+    if args.telemetry:
+        _enable_telemetry_env()
     result = run_case_study(
         application,
         modelers,
@@ -353,6 +372,29 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if result.trace_path:
+        print(f"telemetry trace: {result.trace_path} (render with 'repro-model trace')")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        load_run_trace,
+        render_trace_json,
+        render_trace_text,
+        summarize_trace,
+    )
+
+    try:
+        records = load_run_trace(args.run_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(records)
+    rendered = (
+        render_trace_json(summary) if args.format == "json" else render_trace_text(summary)
+    )
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
     return 0
 
 
@@ -422,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print engine throughput to stderr"
     )
     p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument(
+        "--telemetry", action="store_true",
+        help="record spans/metrics and write trace.jsonl into the run directory "
+        "(sets REPRO_TELEMETRY=1; modeling results are bit-identical either way)",
+    )
     g_eval = p_eval.add_mutually_exclusive_group()
     g_eval.add_argument(
         "--run-dir", default=None,
@@ -469,6 +516,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("name", choices=("kripke", "fastest", "relearn"))
     p_case.add_argument("--processes", type=int, default=None)
     p_case.add_argument("--seed", type=int, default=0)
+    p_case.add_argument(
+        "--telemetry", action="store_true",
+        help="record spans/metrics and write trace.jsonl into the run directory "
+        "(sets REPRO_TELEMETRY=1; modeling results are bit-identical either way)",
+    )
     g_case = p_case.add_mutually_exclusive_group()
     g_case.add_argument(
         "--run-dir", default=None,
@@ -479,6 +531,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a journaled case study, replaying completed modelers",
     )
     p_case.set_defaults(func=_cmd_casestudy)
+
+    p_trace = sub.add_parser(
+        "trace", help="render the telemetry trace of a journaled run"
+    )
+    p_trace.add_argument("run_dir", help="run directory holding trace.jsonl")
+    p_trace.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is schema-versioned for scripting)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_lint = sub.add_parser(
         "lint", help="run the repro-lint static-analysis pass (AST invariants)"
@@ -519,7 +581,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (head, less) closed the pipe mid-print:
+        # normal shell usage, not an error worth a traceback. Detach
+        # stdout so interpreter shutdown does not retry the flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from repro.noise.estimation import noise_levels_per_point
 from repro.noise.injection import UniformLevelRangeNoise
 from repro.nn.network import Sequential
 from repro.nn.optimizers import AdaMax
+from repro.obs import get_telemetry
 from repro.preprocessing.encoding import MAX_POINTS
 from repro.synthesis.training import TrainingSetConfig, generate_training_set
 from repro.util.seeding import as_generator
@@ -112,17 +113,22 @@ def adapt_network(
     epochs and self-resumes from the same file on the next call.
     """
     gen = as_generator(rng)
-    x, y = generate_training_set(task.training_config(samples_per_class), gen)
-    adapted = network.copy()
-    adapted.fit(
-        x,
-        y,
-        epochs=epochs,
-        batch_size=batch_size,
-        optimizer=AdaMax(learning_rate),
-        rng=gen,
-        checkpoint_every=checkpoint_every if checkpoint_path is not None else None,
-        checkpoint_path=checkpoint_path,
-        resume_from=checkpoint_path,
-    )
+    telemetry = get_telemetry()
+    with telemetry.tracer.span(
+        "dnn.adapt_network", epochs=epochs, samples_per_class=samples_per_class
+    ):
+        with telemetry.tracer.span("adapt.training_set"):
+            x, y = generate_training_set(task.training_config(samples_per_class), gen)
+        adapted = network.copy()
+        adapted.fit(
+            x,
+            y,
+            epochs=epochs,
+            batch_size=batch_size,
+            optimizer=AdaMax(learning_rate),
+            rng=gen,
+            checkpoint_every=checkpoint_every if checkpoint_path is not None else None,
+            checkpoint_path=checkpoint_path,
+            resume_from=checkpoint_path,
+        )
     return adapted

@@ -20,6 +20,7 @@ from repro.experiment.experiment import Experiment, Kernel
 from repro.experiment.lines import parameter_lines
 from repro.modeling.candidates import DNNTopKGenerator
 from repro.modeling.pipeline import ModelingPipeline, ModelResult
+from repro.obs import get_telemetry
 from repro.nn.metrics import top_k_classes
 from repro.nn.network import Sequential
 from repro.pmnf.searchspace import pair_for_class
@@ -116,8 +117,10 @@ class DNNModeler:
         """Domain-adapted network for ``task`` (memoized), or the generic one."""
         if task is None or not self.use_domain_adaptation:
             return self.generic_network
+        telemetry = get_telemetry()
         cached = self._adapted.get(task)
         if cached is None:
+            telemetry.metrics.counter("dnn.adaptation.misses").inc()
             cached = adapt_network(
                 self.generic_network,
                 task,
@@ -126,6 +129,8 @@ class DNNModeler:
                 samples_per_class=self.adaptation_samples_per_class,
             )
             self._adapted[task] = cached
+        else:
+            telemetry.metrics.counter("dnn.adaptation.hits").inc()
         return cached
 
     def reset_caches(self) -> None:
@@ -296,7 +301,11 @@ class DNNModeler:
         task = AdaptationTask.from_experiment(experiment) if self.use_domain_adaptation else None
         network = self.network_for_task(task, gen)
         self.classify_batch(experiment.kernels, experiment.n_params, network)
-        return {
+        results = {
             kern.name: self.model_kernel(kern, experiment.n_params, gen, network=network)
             for kern in experiment.kernels
         }
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.absorb_cache_stats(self.cache_stats(), prefix="dnn.cache")
+        return results

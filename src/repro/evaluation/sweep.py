@@ -28,6 +28,8 @@ from repro.evaluation.predictive_power import relative_prediction_errors
 from repro.experiment.experiment import Kernel
 from repro.modeling.registry import create_modelers
 from repro.noise.injection import UniformNoise
+from repro.obs import recording, worker_recording
+from repro.obs.sink import TRACE_FILENAME, build_trace_records, write_trace
 from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
 from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
 from repro.synthesis.evaluation_points import evaluation_points
@@ -42,7 +44,7 @@ from repro.synthesis.measurements import (
 )
 from repro.synthesis.sequences import random_sequence
 from repro.util.seeding import as_generator, spawn_generators
-from repro.util.timing import StageTimer, Timer
+from repro.util.timing import StageTimer, Timer, validate_stage_seconds
 
 #: The noise levels of the paper's synthetic evaluation (Sec. V).
 PAPER_NOISE_LEVELS: tuple[float, ...] = (0.02, 0.05, 0.10, 0.20, 0.50, 0.75, 1.00)
@@ -144,6 +146,9 @@ class SweepResult:
     #: Tasks the engine marked failed (worker crash / chunk timeout), i.e.
     #: whole batches degraded to failure outcomes rather than hanging.
     engine_failures: int = 0
+    #: Path of the telemetry trace artifact (``trace.jsonl``), set when the
+    #: sweep ran with telemetry enabled and a run directory.
+    trace_path: "str | None" = None
 
     def cell(self, noise: float, modeler: str) -> CellResult:
         return self.cells[(noise, modeler)]
@@ -228,9 +233,10 @@ def _failure_outcome(config: SweepConfig, modelers: Mapping[str, object]) -> Tas
 
 def _run_batch(
     batch: "list[tuple[float, np.random.Generator]]",
-) -> "tuple[list[TaskOutcome], dict[str, float]]":
+) -> "tuple[list[TaskOutcome], dict[str, float]] | tuple[list[TaskOutcome], dict[str, float], dict]":
     """Model one batch of synthetic functions; returns per-task outcomes
-    plus this batch's per-stage wall-clock seconds.
+    plus this batch's per-stage wall-clock seconds -- and, when telemetry is
+    recording, a third element carrying the exported telemetry payload.
 
     Every function carries its own pre-spawned RNG and the per-function
     call order (synthesize, then model) is unchanged from the serial path,
@@ -242,22 +248,26 @@ def _run_batch(
     config: SweepConfig = _WORKER_STATE["config"]
     modelers: Mapping[str, object] = _WORKER_STATE["modelers"]
     stages = StageTimer()
-    with stages.time("synthesize"):
-        prepared = [_synthesize_task(noise, gen, config) for noise, gen in batch]
-    with stages.time("classify"):
-        primed: set[int] = set()
-        kernels = [kernel for _, kernel, _, _ in prepared]
-        for modeler in modelers.values():
-            dnn = getattr(modeler, "dnn", modeler)
-            if (
-                hasattr(dnn, "classify_batch")
-                and not getattr(dnn, "use_domain_adaptation", True)
-                and id(dnn) not in primed
-            ):
-                primed.add(id(dnn))
-                dnn.classify_batch(kernels, config.n_params)
-    with stages.time("fit"):
-        outcomes = [_model_task(*prep, config, modelers) for prep in prepared]
+    with worker_recording() as tel:
+        with tel.tracer.span("sweep.batch", functions=len(batch)):
+            with stages.time("synthesize"), tel.tracer.span("batch.synthesize"):
+                prepared = [_synthesize_task(noise, gen, config) for noise, gen in batch]
+            with stages.time("classify"), tel.tracer.span("batch.classify"):
+                primed: set[int] = set()
+                kernels = [kernel for _, kernel, _, _ in prepared]
+                for modeler in modelers.values():
+                    dnn = getattr(modeler, "dnn", modeler)
+                    if (
+                        hasattr(dnn, "classify_batch")
+                        and not getattr(dnn, "use_domain_adaptation", True)
+                        and id(dnn) not in primed
+                    ):
+                        primed.add(id(dnn))
+                        dnn.classify_batch(kernels, config.n_params)
+            with stages.time("fit"), tel.tracer.span("batch.fit"):
+                outcomes = [_model_task(*prep, config, modelers) for prep in prepared]
+    if tel.enabled:
+        return outcomes, stages.seconds, tel.export_payload()
     return outcomes, stages.seconds
 
 
@@ -268,8 +278,22 @@ def _run_task(task: "tuple[float, np.random.Generator]") -> TaskOutcome:
     modeling task (`benchmarks/test_bench_fig3_accuracy.py` and the
     ablations) independently of the batching engine.
     """
-    outcomes, _ = _run_batch([task])
-    return outcomes[0]
+    return _run_batch([task])[0][0]
+
+
+def _validate_batch_payload(index: int, payload) -> None:
+    """Logical validation applied when replaying journaled batch payloads.
+
+    The journal checksum already catches torn pickles; this catches a valid
+    pickle carrying garbage (wrong shape, negative or NaN per-stage seconds)
+    before it poisons a resumed sweep's stage accounting.
+    """
+    if not isinstance(payload, tuple) or len(payload) < 2:
+        raise ValueError(
+            "expected an (outcomes, stage_seconds[, telemetry]) tuple, got "
+            f"{type(payload).__name__}"
+        )
+    validate_stage_seconds(payload[1])
 
 
 def run_sweep(
@@ -323,6 +347,7 @@ def run_sweep(
             fingerprint,
             resume=resume,
             meta={"kind": "sweep", "n_params": config.n_params},
+            payload_validator=_validate_batch_payload,
         )
     elif resume:
         raise ValueError("resume=True requires run_dir")
@@ -339,27 +364,44 @@ def run_sweep(
     if processes is not None:
         engine_config = replace(engine_config, processes=processes)
     stages = StageTimer()
-    with Timer() as total:
-        raw_batches = run_tasks(
-            _run_batch,
-            batches,
-            engine_config,
-            initializer=_init_worker,
-            initargs=(config, modelers),
-            progress=progress,
-            journal=journal,
-        )
-    raw: list[TaskOutcome] = []
-    engine_failures = 0
-    for batch, entry in zip(batches, raw_batches):
-        if isinstance(entry, TaskFailure):
-            engine_failures += 1
-            raw.extend(_failure_outcome(config, modelers) for _ in batch)
-        else:
-            outcomes, batch_stages = entry
-            raw.extend(outcomes)
-            stages.merge(batch_stages)
-    stages.add("total", total.elapsed)
+    with recording() as tel:
+        with tel.tracer.span(
+            "sweep.run",
+            n_params=config.n_params,
+            noise_levels=len(config.noise_levels),
+            n_functions=config.n_functions,
+            batch_size=config.batch_size,
+        ):
+            with tel.tracer.span("sweep.engine", batches=len(batches)) as engine_span:
+                with Timer() as total:
+                    raw_batches = run_tasks(
+                        _run_batch,
+                        batches,
+                        engine_config,
+                        initializer=_init_worker,
+                        initargs=(config, modelers),
+                        progress=progress,
+                        journal=journal,
+                    )
+            raw: list[TaskOutcome] = []
+            engine_failures = 0
+            for batch, entry in zip(batches, raw_batches):
+                if isinstance(entry, TaskFailure):
+                    engine_failures += 1
+                    raw.extend(_failure_outcome(config, modelers) for _ in batch)
+                else:
+                    # Journaled payloads may be 2-tuples (recorded with
+                    # telemetry off) or 3-tuples (recorded with it on);
+                    # resume must accept either regardless of the current
+                    # toggle state.
+                    outcomes, batch_stages = entry[0], entry[1]
+                    raw.extend(outcomes)
+                    stages.merge(batch_stages)
+                    if tel.enabled and len(entry) > 2:
+                        tel.absorb_payload(entry[2], engine_span.span_id)
+            stages.add("total", total.elapsed)
+    if tel.enabled:
+        tel.metrics.absorb_stage_seconds(stages.seconds, prefix="sweep")
     cells: dict[tuple[float, str], CellResult] = {}
     for idx, noise in enumerate(config.noise_levels):
         block = raw[idx * config.n_functions : (idx + 1) * config.n_functions]
@@ -377,9 +419,20 @@ def run_sweep(
                 failures=failures,
                 functions=[r[name][3] for r in block],
             )
-    return SweepResult(
+    result = SweepResult(
         config=config,
         cells=cells,
         stage_seconds=stages.seconds,
         engine_failures=engine_failures,
     )
+    if tel.enabled and journal is not None:
+        records = build_trace_records(
+            tel,
+            stage_seconds=stages.seconds,
+            meta={"kind": "sweep", "run_id": journal.run_id},
+        )
+        trace_file = journal.directory / TRACE_FILENAME
+        digest = write_trace(trace_file, records)
+        journal.record_artifact("trace", TRACE_FILENAME, digest)
+        result.trace_path = str(trace_file)
+    return result

@@ -139,6 +139,13 @@ class AtomicArtifactWrites(Rule):
     a serializer that targets an in-memory buffer before handing the bytes
     to ``atomic_write_bytes`` carries a suppression stating exactly that.
     Appending (journals) and reading are out of scope.
+
+    The telemetry trace sink (``obs/sink.py``) is the canonical producer:
+    it serializes every record to one JSONL string and emits it in a
+    single ``atomic_write_text`` call, so a crash mid-write can never
+    leave a torn ``trace.jsonl`` behind — the manifest-registered SHA-256
+    only exists once the rename landed. New artifact producers should
+    copy that shape rather than streaming records to an open handle.
     """
 
     rule_id = "IO001"

@@ -24,6 +24,7 @@ from typing import Protocol, runtime_checkable
 from repro.experiment.experiment import Experiment, Kernel
 from repro.experiment.measurement import value_table
 from repro.modeling.engine import resolve_fit_engine
+from repro.obs import get_telemetry
 from repro.pmnf.function import PerformanceFunction
 from repro.regression.fast_multi import FastMultiParameterSearch
 from repro.regression.selection import evaluate_hypotheses, select_best
@@ -110,23 +111,39 @@ class ModelingPipeline:
             raise ValueError(f"kernel {kernel.name!r} has no measurements")
         if n_params is None:
             n_params = kernel.coordinates[0].dimensions
+        telemetry = get_telemetry()
         stages = StageTimer()
-        with stages.time("aggregate"):
-            points, values = value_table(kernel.measurements, self.aggregation)
-        with stages.time("generate"):
-            candidates = self.generator.generate(
-                kernel, n_params, points, values, rng=rng, network=network
+        with telemetry.tracer.span(
+            "pipeline.model_kernel", kernel=kernel.name, engine=self.engine
+        ) as span:
+            with stages.time("aggregate"):
+                points, values = value_table(kernel.measurements, self.aggregation)
+            with stages.time("generate"):
+                candidates = self.generator.generate(
+                    kernel, n_params, points, values, rng=rng, network=network
+                )
+            if self.engine == "fast":
+                with stages.time("fit"):
+                    scored = self._search.score(candidates.hypotheses, points, values)
+                with stages.time("select"):
+                    best = self._search.choose(scored, points, values)
+            else:
+                with stages.time("fit"):
+                    scored = evaluate_hypotheses(candidates.hypotheses, points, values)
+                with stages.time("select"):
+                    best = select_best(scored)
+            span.set(
+                n_candidates=len(candidates.hypotheses),
+                cache_hits=candidates.cache_hits,
+                cv_smape=best.cv_smape,
             )
-        if self.engine == "fast":
-            with stages.time("fit"):
-                scored = self._search.score(candidates.hypotheses, points, values)
-            with stages.time("select"):
-                best = self._search.choose(scored, points, values)
-        else:
-            with stages.time("fit"):
-                scored = evaluate_hypotheses(candidates.hypotheses, points, values)
-            with stages.time("select"):
-                best = select_best(scored)
+        if telemetry.enabled:
+            telemetry.metrics.absorb_stage_seconds(stages.seconds, prefix="pipeline")
+            telemetry.metrics.counter("pipeline.kernels").inc()
+            telemetry.metrics.counter("pipeline.candidates").inc(
+                len(candidates.hypotheses)
+            )
+            telemetry.metrics.counter("pipeline.cache_hits").inc(candidates.cache_hits)
         provenance = Provenance(
             generator=candidates.generator,
             engine=self.engine,

@@ -15,6 +15,7 @@ from repro.nn.layers import Dense, Layer
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, softmax
 from repro.nn.metrics import accuracy
 from repro.nn.optimizers import AdaMax, Optimizer
+from repro.obs import get_telemetry
 from repro.util.artifacts import atomic_write_bytes
 from repro.util.seeding import as_generator
 
@@ -179,67 +180,74 @@ class Sequential:
                 best_weights = checkpoint["best_weights"]
                 stale_epochs = checkpoint["stale_epochs"]
                 start_epoch = int(checkpoint["epoch"])
-        for epoch in range(start_epoch, epochs):
-            if schedule is not None:
-                schedule.apply(optimizer, epoch)
-            order = gen.permutation(n) if shuffle else np.arange(n)
-            epoch_loss = 0.0
-            epoch_correct = 0.0
-            for start in range(0, n, batch_size):
-                idx = order[start : start + batch_size]
-                xb, yb = x[idx], y[idx]
-                out = self.forward(xb, training=True)
-                batch_loss = loss.value(out, yb)
-                if not np.isfinite(batch_loss):
-                    raise RuntimeError(
-                        "training diverged (non-finite loss); lower the learning "
-                        "rate or check the input normalization"
-                    )
-                epoch_loss += batch_loss * len(idx)
-                if out.ndim == 2 and out.shape[1] > 1:
-                    epoch_correct += np.sum(np.argmax(out, axis=1) == yb)
-                self.backward(loss.gradient(out, yb))
-                optimizer.step(self.parameters())
-            history.loss.append(epoch_loss / n)
-            history.accuracy.append(float(epoch_correct) / n)
-            if validation is not None:
-                xv, yv = validation
-                out = self.forward(np.asarray(xv, dtype=np.float32))
-                val_loss = loss.value(out, np.asarray(yv))
-                history.val_loss.append(val_loss)
-                history.val_accuracy.append(accuracy(out, np.asarray(yv)))
-                if early_stopping_patience is not None:
-                    if val_loss < best_val - 1e-12:
-                        best_val = val_loss
-                        best_weights = self.get_weights()
-                        stale_epochs = 0
-                    else:
-                        stale_epochs += 1
-                        if stale_epochs >= early_stopping_patience:
-                            break
-            if checkpoint_every is not None and (epoch + 1) % checkpoint_every == 0:
-                save_training_checkpoint(
-                    checkpoint_path,
-                    {
-                        "epoch": epoch + 1,
-                        "n_samples": n,
-                        "batch_size": batch_size,
-                        "weights": self.get_weights(),
-                        "optimizer": optimizer.state_dict(),
-                        "rng_state": gen.bit_generator.state,
-                        "history": {
-                            "loss": list(history.loss),
-                            "accuracy": list(history.accuracy),
-                            "val_loss": list(history.val_loss),
-                            "val_accuracy": list(history.val_accuracy),
+        telemetry = get_telemetry()
+        with telemetry.tracer.span(
+            "nn.fit", epochs=epochs, samples=n, batch_size=batch_size
+        ) as fit_span:
+            for epoch in range(start_epoch, epochs):
+                if schedule is not None:
+                    schedule.apply(optimizer, epoch)
+                order = gen.permutation(n) if shuffle else np.arange(n)
+                epoch_loss = 0.0
+                epoch_correct = 0.0
+                for start in range(0, n, batch_size):
+                    idx = order[start : start + batch_size]
+                    xb, yb = x[idx], y[idx]
+                    out = self.forward(xb, training=True)
+                    batch_loss = loss.value(out, yb)
+                    if not np.isfinite(batch_loss):
+                        raise RuntimeError(
+                            "training diverged (non-finite loss); lower the learning "
+                            "rate or check the input normalization"
+                        )
+                    epoch_loss += batch_loss * len(idx)
+                    if out.ndim == 2 and out.shape[1] > 1:
+                        epoch_correct += np.sum(np.argmax(out, axis=1) == yb)
+                    self.backward(loss.gradient(out, yb))
+                    optimizer.step(self.parameters())
+                history.loss.append(epoch_loss / n)
+                history.accuracy.append(float(epoch_correct) / n)
+                if validation is not None:
+                    xv, yv = validation
+                    out = self.forward(np.asarray(xv, dtype=np.float32))
+                    val_loss = loss.value(out, np.asarray(yv))
+                    history.val_loss.append(val_loss)
+                    history.val_accuracy.append(accuracy(out, np.asarray(yv)))
+                    if early_stopping_patience is not None:
+                        if val_loss < best_val - 1e-12:
+                            best_val = val_loss
+                            best_weights = self.get_weights()
+                            stale_epochs = 0
+                        else:
+                            stale_epochs += 1
+                            if stale_epochs >= early_stopping_patience:
+                                break
+                if checkpoint_every is not None and (epoch + 1) % checkpoint_every == 0:
+                    save_training_checkpoint(
+                        checkpoint_path,
+                        {
+                            "epoch": epoch + 1,
+                            "n_samples": n,
+                            "batch_size": batch_size,
+                            "weights": self.get_weights(),
+                            "optimizer": optimizer.state_dict(),
+                            "rng_state": gen.bit_generator.state,
+                            "history": {
+                                "loss": list(history.loss),
+                                "accuracy": list(history.accuracy),
+                                "val_loss": list(history.val_loss),
+                                "val_accuracy": list(history.val_accuracy),
+                            },
+                            "best_val": best_val,
+                            "best_weights": best_weights,
+                            "stale_epochs": stale_epochs,
                         },
-                        "best_val": best_val,
-                        "best_weights": best_weights,
-                        "stale_epochs": stale_epochs,
-                    },
-                )
+                    )
+            fit_span.set(epochs_trained=history.epochs)
         if best_weights is not None:
             self.set_weights(best_weights)
+        if telemetry.enabled:
+            telemetry.metrics.absorb_training_history(history)
         return history
 
     # ------------------------------------------------------------- inference

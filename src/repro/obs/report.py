@@ -1,0 +1,154 @@
+"""Renderers behind ``repro-model trace``: per-stage / per-span breakdowns.
+
+Aggregates a validated trace (see :mod:`repro.obs.sink`) into a compact
+summary -- stage totals with shares, span statistics grouped by name,
+per-kernel modeling breakdowns, and the metric listing -- and renders it as
+text tables or schema-stable JSON for scripting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.sink import TRACE_FILENAME, read_trace
+from repro.util.tables import render_table
+
+__all__ = ["load_run_trace", "summarize_trace", "render_trace_text", "render_trace_json"]
+
+#: JSON summary schema version, bumped on breaking shape changes.
+SUMMARY_SCHEMA = "repro.trace-summary/v1"
+
+
+def load_run_trace(run_dir: "str | Path") -> list[dict]:
+    """Read ``trace.jsonl`` from a run directory (validated)."""
+    path = Path(run_dir) / TRACE_FILENAME
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no {TRACE_FILENAME} in {run_dir}: run with --telemetry (or "
+            f"REPRO_TELEMETRY=1) and a --run-dir to record one"
+        )
+    return read_trace(path)
+
+
+def summarize_trace(records: "list[dict]") -> dict:
+    """Aggregate a trace's records into one summary dict."""
+    header = records[0]
+    stages = [
+        {"stage": r["stage"], "seconds": float(r["seconds"])}
+        for r in records
+        if r.get("type") == "stage"
+    ]
+    # Share denominator: the end-to-end 'total' stage when present (worker
+    # stages can sum past it under parallelism), else the sum of stages.
+    named_total = next((s["seconds"] for s in stages if s["stage"] == "total"), None)
+    stage_total = (
+        named_total
+        if named_total
+        else sum(s["seconds"] for s in stages if s["stage"] != "total")
+    )
+    for entry in stages:
+        entry["share"] = entry["seconds"] / stage_total if stage_total > 0 else 0.0
+
+    span_groups: dict[str, dict] = {}
+    kernels: dict[str, dict] = {}
+    workers: set[int] = set()
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        workers.add(int(record.get("pid", 0)))
+        duration = float(record["duration_s"])
+        group = span_groups.setdefault(
+            record["name"], {"name": record["name"], "count": 0, "seconds": 0.0, "max_s": 0.0}
+        )
+        group["count"] += 1
+        group["seconds"] += duration
+        group["max_s"] = max(group["max_s"], duration)
+        kernel = record.get("attrs", {}).get("kernel")
+        if kernel is not None:
+            entry = kernels.setdefault(str(kernel), {"kernel": str(kernel), "count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            entry["seconds"] += duration
+    for group in span_groups.values():
+        group["mean_s"] = group["seconds"] / group["count"]
+
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        if record["kind"] == "counter":
+            counters[record["name"]] = record["value"]
+        elif record["kind"] == "gauge":
+            gauges[record["name"]] = record["value"]
+        else:
+            histograms[record["name"]] = {
+                "count": record["count"],
+                "sum": record["sum"],
+                "mean": record["sum"] / record["count"] if record["count"] else 0.0,
+            }
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "trace_schema": header.get("schema"),
+        "created": header.get("created"),
+        "meta": header.get("meta", {}),
+        "stages": stages,
+        "spans": sorted(span_groups.values(), key=lambda g: -g["seconds"]),
+        "kernels": sorted(kernels.values(), key=lambda k: -k["seconds"]),
+        "workers": len(workers),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def render_trace_text(summary: dict) -> str:
+    """Human-readable tables: stages, spans, kernels, metrics."""
+    blocks: list[str] = []
+    meta = summary.get("meta", {})
+    title = f"Telemetry trace ({summary['trace_schema']})"
+    if meta:
+        title += " -- " + ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    blocks.append(title)
+    if summary["stages"]:
+        rows = [
+            [s["stage"], f"{s['seconds']:.3f}", f"{s['share'] * 100:.1f}"]
+            for s in summary["stages"]
+        ]
+        blocks.append(render_table(["stage", "seconds", "share %"], rows, title="Per-stage wall time"))
+    if summary["spans"]:
+        rows = [
+            [g["name"], str(g["count"]), f"{g['seconds']:.3f}", f"{g['mean_s'] * 1000:.2f}", f"{g['max_s'] * 1000:.2f}"]
+            for g in summary["spans"]
+        ]
+        blocks.append(
+            render_table(
+                ["span", "count", "total s", "mean ms", "max ms"],
+                rows,
+                title=f"Spans ({summary['workers']} worker process(es))",
+            )
+        )
+    if summary["kernels"]:
+        rows = [
+            [k["kernel"], str(k["count"]), f"{k['seconds']:.3f}"] for k in summary["kernels"][:20]
+        ]
+        note = "" if len(summary["kernels"]) <= 20 else f" (top 20 of {len(summary['kernels'])})"
+        blocks.append(render_table(["kernel", "spans", "seconds"], rows, title=f"Per-kernel modeling time{note}"))
+    metric_rows = [
+        [name, "counter", f"{value:g}"] for name, value in sorted(summary["counters"].items())
+    ]
+    metric_rows += [
+        [name, "gauge", f"{value:g}"] for name, value in sorted(summary["gauges"].items())
+    ]
+    metric_rows += [
+        [name, "histogram", f"n={h['count']} mean={h['mean']:.4g}"]
+        for name, h in sorted(summary["histograms"].items())
+    ]
+    if metric_rows:
+        blocks.append(render_table(["metric", "kind", "value"], metric_rows, title="Metrics"))
+    return "\n\n".join(blocks)
+
+
+def render_trace_json(summary: dict) -> str:
+    return json.dumps(summary, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,176 @@
+"""The JSONL trace artifact: schema v1, atomic write, validation.
+
+A trace is one JSON record per line. The first line is a header naming the
+schema version; the remaining lines are ``stage``, ``span``, and ``metric``
+records in any order. The whole file is assembled in memory and written in
+one shot through :func:`repro.util.artifacts.atomic_write_text`, so a trace
+is either completely present or absent -- never torn -- and its SHA-256 can
+be registered in the run manifest like every other artifact.
+
+Schema ``repro.trace/v1``::
+
+    {"type": "header", "schema": "repro.trace/v1", "created": ..., "meta": {...}}
+    {"type": "stage",  "stage": "fit", "seconds": 1.25}
+    {"type": "span",   "name": ..., "span_id": ..., "parent_id": ...,
+                       "start_unix": ..., "start_mono": ..., "duration_s": ...,
+                       "pid": ..., "attrs": {...}}
+    {"type": "metric", "kind": "counter"|"gauge", "name": ..., "value": ...}
+    {"type": "metric", "kind": "histogram", "name": ..., "boundaries": [...],
+                       "counts": [...], "sum": ..., "count": ...}
+
+``stage`` records are emitted *from* the run's authoritative
+``stage_seconds`` mapping (not re-measured), so the trace's per-stage
+totals agree with ``SweepResult.stage_seconds`` by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.util.artifacts import atomic_write_text
+from repro.util.timing import validate_stage_seconds
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_FILENAME",
+    "build_trace_records",
+    "write_trace",
+    "read_trace",
+    "validate_trace_records",
+]
+
+TRACE_SCHEMA = "repro.trace/v1"
+TRACE_FILENAME = "trace.jsonl"
+
+_RECORD_TYPES = frozenset(("header", "stage", "span", "metric"))
+_METRIC_KINDS = frozenset(("counter", "gauge", "histogram"))
+_SPAN_KEYS = ("name", "span_id", "start_unix", "start_mono", "duration_s")
+
+
+def build_trace_records(
+    telemetry,
+    stage_seconds: "dict[str, float] | None" = None,
+    meta: "dict | None" = None,
+) -> list[dict]:
+    """Assemble the full record list for one run's trace.
+
+    ``telemetry`` is the finished :class:`repro.obs.Telemetry` session;
+    ``stage_seconds`` is the run's authoritative per-stage report (e.g.
+    ``SweepResult.stage_seconds``), validated and copied verbatim into
+    ``stage`` records.
+    """
+    records: list[dict] = [
+        {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "meta": dict(meta or {}),
+        }
+    ]
+    if stage_seconds:
+        validate_stage_seconds(stage_seconds)
+        for stage, seconds in stage_seconds.items():
+            records.append({"type": "stage", "stage": stage, "seconds": float(seconds)})
+    for span in telemetry.tracer.export():
+        records.append({"type": "span", **span})
+    snapshot = telemetry.metrics.snapshot()
+    for name, value in snapshot.get("counters", {}).items():
+        records.append({"type": "metric", "kind": "counter", "name": name, "value": value})
+    for name, value in snapshot.get("gauges", {}).items():
+        records.append({"type": "metric", "kind": "gauge", "name": name, "value": value})
+    for name, data in snapshot.get("histograms", {}).items():
+        records.append({"type": "metric", "kind": "histogram", "name": name, **data})
+    return records
+
+
+def write_trace(path: "str | Path", records: "list[dict]") -> str:
+    """Validate and atomically write a trace; returns the payload SHA-256."""
+    validate_trace_records(records)
+    lines = "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+    return atomic_write_text(path, lines)
+
+
+def read_trace(path: "str | Path") -> list[dict]:
+    """Read and validate a trace file back into its record list."""
+    path = Path(path)
+    records = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}:{lineno}: malformed trace record: {err}") from err
+    validate_trace_records(records)
+    return records
+
+
+def _require(record: dict, keys, where: str) -> None:
+    missing = [key for key in keys if key not in record]
+    if missing:
+        raise ValueError(f"{where}: missing key(s) {', '.join(missing)}")
+
+
+def _finite_number(value, where: str) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or not math.isfinite(value):
+        raise ValueError(f"{where}: expected a finite number, got {value!r}")
+
+
+def validate_trace_records(records: "list[dict]") -> None:
+    """Check a record list against schema v1; raises :class:`ValueError`.
+
+    Used by the writer (a malformed trace is never persisted), the reader,
+    and the CI smoke job that validates an emitted trace end to end.
+    """
+    if not records:
+        raise ValueError("empty trace: expected at least a header record")
+    header = records[0]
+    if not isinstance(header, dict) or header.get("type") != "header":
+        raise ValueError("trace must start with a header record")
+    if header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"unsupported trace schema: found {header.get('schema')!r}, "
+            f"supported {TRACE_SCHEMA!r}"
+        )
+    for idx, record in enumerate(records[1:], start=1):
+        where = f"trace record {idx}"
+        if not isinstance(record, dict):
+            raise ValueError(f"{where}: expected an object, got {type(record).__name__}")
+        kind = record.get("type")
+        if kind not in _RECORD_TYPES:
+            raise ValueError(f"{where}: unknown record type {kind!r}")
+        if kind == "header":
+            raise ValueError(f"{where}: duplicate header record")
+        if kind == "stage":
+            _require(record, ("stage", "seconds"), where)
+            _finite_number(record["seconds"], f"{where} ({record['stage']!r} seconds)")
+            if record["seconds"] < 0:
+                raise ValueError(
+                    f"{where}: stage {record['stage']!r} has negative seconds "
+                    f"{record['seconds']!r}"
+                )
+        elif kind == "span":
+            _require(record, _SPAN_KEYS, where)
+            for key in ("start_unix", "start_mono", "duration_s"):
+                _finite_number(record[key], f"{where} ({key})")
+            if record["duration_s"] < 0:
+                raise ValueError(f"{where}: negative span duration {record['duration_s']!r}")
+        elif kind == "metric":
+            metric_kind = record.get("kind")
+            if metric_kind not in _METRIC_KINDS:
+                raise ValueError(f"{where}: unknown metric kind {metric_kind!r}")
+            _require(record, ("name",), where)
+            if metric_kind == "histogram":
+                _require(record, ("boundaries", "counts", "sum", "count"), where)
+                if len(record["counts"]) != len(record["boundaries"]) + 1:
+                    raise ValueError(
+                        f"{where}: histogram {record['name']!r} needs "
+                        f"len(boundaries)+1 counts"
+                    )
+            else:
+                _require(record, ("value",), where)
+                _finite_number(record["value"], f"{where} ({record['name']!r})")

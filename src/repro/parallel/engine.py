@@ -45,6 +45,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import get_telemetry
 from repro.parallel.pool import pool_context, resolve_processes
 from repro.testing import faults
 
@@ -244,9 +245,31 @@ def run_tasks(
         }
         state.skipped = len(restored)
     n_procs = resolve_processes(config.processes)
-    if n_procs <= 1 or len(items) - len(restored) <= 1:
-        return _run_serial(fn, items, config, initializer, initargs, state, restored, journal)
-    return _run_pool(fn, items, config, initializer, initargs, n_procs, state, restored, journal)
+    telemetry = get_telemetry()
+    with telemetry.tracer.span(
+        "engine.run_tasks", tasks=len(items), processes=n_procs, restored=len(restored)
+    ):
+        if n_procs <= 1 or len(items) - len(restored) <= 1:
+            results = _run_serial(
+                fn, items, config, initializer, initargs, state, restored, journal
+            )
+        else:
+            results = _run_pool(
+                fn, items, config, initializer, initargs, n_procs, state, restored, journal
+            )
+    # One unified channel for the engine's operational counters: the same
+    # numbers the Progress callback streams, absorbed into the metrics
+    # registry once per run_tasks call.
+    metrics = telemetry.metrics
+    if metrics.enabled:
+        metrics.counter("engine.completed").inc(state.completed)
+        metrics.counter("engine.failed").inc(state.failed)
+        metrics.counter("engine.retried").inc(state.retried)
+        metrics.counter("engine.skipped").inc(state.skipped)
+        metrics.counter("engine.timed_out").inc(
+            sum(1 for r in results if isinstance(r, TaskFailure) and r.timed_out)
+        )
+    return results
 
 
 def _run_serial(fn, items, config, initializer, initargs, state, restored, journal):

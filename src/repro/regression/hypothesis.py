@@ -127,9 +127,15 @@ def fit_hypothesis(
     ]
     function = PerformanceFunction(coef[0], terms, hypothesis.n_params)
     residual = values - predicted
+    # A degenerate fit (overflowing basis columns) yields non-finite
+    # predictions; smape() refuses those, so record the fit as maximally bad
+    # instead -- selection's finite-LOO check discards it downstream.
+    in_sample = (
+        smape(values, predicted) if np.all(np.isfinite(predicted)) else float("inf")
+    )
     return FittedModel(
         function=function,
         hypothesis=hypothesis,
-        smape=smape(values, predicted),
+        smape=in_sample,
         rss=float(residual @ residual),
     )

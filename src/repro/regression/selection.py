@@ -10,6 +10,7 @@ fast enough for the 100 000-function synthetic sweeps.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -106,6 +107,19 @@ def select_best(scored: Sequence[ScoredModel]) -> ScoredModel:
     """
     if not scored:
         raise ValueError("no valid hypotheses to select from")
+    # NaN CV-SMAPE corrupts min(): NaN comparisons are all False, so such a
+    # candidate could win or lose purely by its position in the list. smape()
+    # refuses non-finite inputs, so a NaN here means a scoring bug upstream;
+    # fail loudly naming the candidates rather than selecting arbitrarily.
+    corrupt = [s for s in scored if math.isnan(s.cv_smape)]
+    if corrupt:
+        names = ", ".join(s.function.format() for s in corrupt[:5])
+        if len(corrupt) > 5:
+            names += f", ... ({len(corrupt)} total)"
+        raise ValueError(
+            f"{len(corrupt)} candidate(s) carry NaN CV-SMAPE and cannot be "
+            f"ranked: {names}"
+        )
     plausible = [s for s in scored if _physically_plausible(s)]
     pool = plausible if plausible else scored
     return min(pool, key=lambda s: (s.cv_smape, s.fitted.hypothesis.complexity_key()))

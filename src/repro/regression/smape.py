@@ -12,6 +12,11 @@ def smape(actual: np.ndarray, predicted: np.ndarray) -> float:
     zero error. Symmetric in over- and under-prediction, which is why Extra-P
     prefers it over plain MAPE for selecting among hypotheses whose scales
     differ wildly.
+
+    Non-finite inputs (NaN or Inf in either array) raise :class:`ValueError`
+    naming the offending indices: a silently-NaN SMAPE would propagate into
+    hypothesis selection, where NaN comparisons make the winner depend on
+    candidate order instead of on fit quality.
     """
     a = np.asarray(actual, dtype=float)
     p = np.asarray(predicted, dtype=float)
@@ -19,7 +24,19 @@ def smape(actual: np.ndarray, predicted: np.ndarray) -> float:
         raise ValueError(f"shape mismatch: {a.shape} vs {p.shape}")
     if a.size == 0:
         raise ValueError("cannot compute SMAPE of empty arrays")
+    bad = ~(np.isfinite(a) & np.isfinite(p))
+    if np.any(bad):
+        indices = np.flatnonzero(bad)
+        shown = ", ".join(str(i) for i in indices[:10])
+        if indices.size > 10:
+            shown += f", ... ({indices.size} total)"
+        raise ValueError(
+            f"non-finite SMAPE input at index {shown}: "
+            f"actual={a.ravel()[indices[0]]!r}, predicted={p.ravel()[indices[0]]!r}"
+        )
     denom = np.abs(a) + np.abs(p)
+    # Inputs are finite, so denom == 0 only where both values are exactly
+    # zero; errstate silences the spurious 0/0 from np.where's eager branch.
     with np.errstate(invalid="ignore", divide="ignore"):
         ratio = np.where(denom > 0, 2.0 * np.abs(a - p) / denom, 0.0)
     return float(np.mean(ratio) * 100.0)

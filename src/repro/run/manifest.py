@@ -93,16 +93,30 @@ def rng_fingerprint(rng) -> str:
 
 
 class RunManifest:
-    """Handle on one run directory; also the engine's task journal."""
+    """Handle on one run directory; also the engine's task journal.
 
-    def __init__(self, directory: "str | Path", data: dict):
+    ``payload_validator`` is an optional ``(index, payload) -> None``
+    callable applied to every journaled task payload on replay. The
+    checksum catches *torn* payloads; the validator catches *logically*
+    corrupt ones (a valid pickle carrying garbage values, e.g. negative
+    per-stage seconds) -- its :class:`ValueError` is re-raised as a
+    :class:`RunManifestError` naming the task, instead of the bad payload
+    silently poisoning a resumed run.
+    """
+
+    def __init__(self, directory: "str | Path", data: dict, payload_validator=None):
         self.directory = Path(directory)
         self._data = data
+        self.payload_validator = payload_validator
 
     # ------------------------------------------------------------ lifecycle
     @classmethod
     def create(
-        cls, directory: "str | Path", config_hash: str, meta: "dict | None" = None
+        cls,
+        directory: "str | Path",
+        config_hash: str,
+        meta: "dict | None" = None,
+        payload_validator=None,
     ) -> "RunManifest":
         """Start a fresh run; refuses to overwrite an existing one."""
         directory = Path(directory)
@@ -122,10 +136,10 @@ class RunManifest:
             "meta": dict(meta or {}),
         }
         atomic_write_json(path, data)
-        return cls(directory, data)
+        return cls(directory, data, payload_validator)
 
     @classmethod
-    def load(cls, directory: "str | Path") -> "RunManifest":
+    def load(cls, directory: "str | Path", payload_validator=None) -> "RunManifest":
         directory = Path(directory)
         path = directory / MANIFEST_NAME
         if not path.exists():
@@ -140,7 +154,7 @@ class RunManifest:
                 f"{path}: unsupported manifest version: found {version!r}, "
                 f"supported {_MANIFEST_VERSION}"
             )
-        return cls(directory, data)
+        return cls(directory, data, payload_validator)
 
     @classmethod
     def open(
@@ -149,6 +163,7 @@ class RunManifest:
         config_hash: str,
         resume: bool = False,
         meta: "dict | None" = None,
+        payload_validator=None,
     ) -> "RunManifest":
         """Create a fresh run, or -- with ``resume`` -- re-enter a prior one.
 
@@ -156,8 +171,8 @@ class RunManifest:
         can never silently leak into a run with different parameters.
         """
         if not resume:
-            return cls.create(directory, config_hash, meta)
-        manifest = cls.load(directory)
+            return cls.create(directory, config_hash, meta, payload_validator)
+        manifest = cls.load(directory, payload_validator)
         if manifest.config_hash != config_hash:
             raise RunManifestError(
                 f"run {manifest.run_id} at {manifest.directory} was started with "
@@ -271,11 +286,41 @@ class RunManifest:
                 continue
             if sha256_bytes(blob) != record.get("sha256"):
                 continue  # corrupt payload: treat the task as never completed
-            out[int(record["task"])] = pickle.loads(blob)
+            index = int(record["task"])
+            payload = pickle.loads(blob)
+            if self.payload_validator is not None:
+                try:
+                    self.payload_validator(index, payload)
+                except ValueError as err:
+                    raise RunManifestError(
+                        f"journaled task {index} in {self.directory} replayed a "
+                        f"corrupt payload: {err}"
+                    ) from err
+            out[index] = payload
         return out
 
     def task_count(self) -> int:
         return len(self.completed_tasks())
+
+    # ------------------------------------------------------------- artifacts
+    def record_artifact(self, name: str, relative_path: str, sha256: str) -> None:
+        """Journal one named run artifact (e.g. the telemetry trace).
+
+        Like task payloads, the artifact file is written (atomically) first
+        and the journal pointer second, so a crash between the two leaves an
+        orphan file rather than a dangling reference.
+        """
+        self._append(
+            {"type": "artifact", "name": name, "file": relative_path, "sha256": sha256}
+        )
+
+    def artifacts(self) -> "dict[str, dict]":
+        """Registered artifacts by name (last registration wins)."""
+        return {
+            record["name"]: record
+            for record in self._records()
+            if record.get("type") == "artifact"
+        }
 
     # ------------------------------------------------------------ quarantine
     def record_quarantine(

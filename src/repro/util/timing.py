@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
+
+
+def validate_stage_seconds(seconds: "Mapping[str, float]") -> None:
+    """Reject corrupted per-stage timings (negative, NaN, or non-numeric).
+
+    A torn or corrupted worker payload can replay a stage dictionary whose
+    values are garbage; silently adding them would poison the aggregate
+    timing report. Raises :class:`ValueError` naming the stage and value.
+    """
+    for stage, value in seconds.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"stage {stage!r}: seconds must be a number, got {value!r}"
+            )
+        if not math.isfinite(value) or value < 0:
+            raise ValueError(
+                f"stage {stage!r}: invalid seconds {value!r} (must be finite "
+                "and non-negative)"
+            )
 
 
 @dataclass
@@ -27,7 +47,12 @@ class Timer:
         return self
 
     def __exit__(self, *exc) -> None:
-        self.stop()
+        # Idempotent and exception-transparent: if the timed body already
+        # stopped the timer (e.g. a fault-injection path calling stop()
+        # before re-raising), exiting must not replace the in-flight
+        # exception with a bookkeeping RuntimeError.
+        if self._started is not None:
+            self.stop()
 
     def start(self) -> None:
         if self._started is not None:
@@ -75,9 +100,16 @@ class StageTimer:
             self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
 
     def add(self, stage: str, seconds: float) -> None:
+        validate_stage_seconds({stage: seconds})
         self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
 
     def merge(self, other: "Mapping[str, float]") -> None:
-        """Add another run's per-stage seconds (e.g. from a pool worker)."""
+        """Add another run's per-stage seconds (e.g. from a pool worker).
+
+        The payload crossed a process boundary (or a crash-resume journal),
+        so it is validated first: a negative or NaN stage time names the
+        stage and value instead of silently poisoning the aggregate.
+        """
+        validate_stage_seconds(other)
         for stage, seconds in other.items():
             self.add(stage, seconds)

@@ -85,6 +85,29 @@ class TestIO001:
         source = "def f(p):\n    open(p).close()\n    open(p, 'rb').close()\n    open(p, 'a').close()\n"
         assert rules_fired(source) == []
 
+    def test_trace_sink_routes_through_artifacts(self):
+        """The telemetry trace sink is IO001's canonical producer: the
+        real module must lint clean under its real library path."""
+        from pathlib import Path
+
+        import repro.obs.sink as sink_module
+
+        source = Path(sink_module.__file__).read_text(encoding="utf-8")
+        assert rules_fired(source, relpath="src/repro/obs/sink.py") == []
+
+    def test_streaming_trace_writer_would_fire(self):
+        # The shape the sink deliberately avoids: appending records to an
+        # open handle leaves a torn trace.jsonl on a crash mid-write.
+        source = (
+            "import json\n"
+            "def write_trace(path, records):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        for record in records:\n"
+            "            json.dump(record, handle)\n"
+        )
+        fired = rules_fired(source, relpath="src/repro/obs/sink.py")
+        assert fired == ["IO001", "IO001"]  # open(.., "w") and json.dump
+
 
 class TestEXC001:
     def test_fires_on_violation(self, fixture_source):

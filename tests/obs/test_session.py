@@ -1,0 +1,115 @@
+import pytest
+
+from repro import obs
+from repro.obs import (
+    ENV_VAR,
+    NULL_TELEMETRY,
+    Telemetry,
+    get_telemetry,
+    recording,
+    telemetry_env_enabled,
+    worker_recording,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_toggle(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert not obs._STACK  # a leaked session would poison every later test
+    yield
+    assert not obs._STACK
+
+
+class TestToggle:
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", "TRUE", " On "])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_VAR, value)
+        assert telemetry_env_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no", "maybe"])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_VAR, value)
+        assert not telemetry_env_enabled()
+
+    def test_unset_is_off(self):
+        assert not telemetry_env_enabled()
+
+
+class TestRecording:
+    def test_default_is_shared_null_session(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        with recording() as tel:
+            assert tel is NULL_TELEMETRY
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_env_toggle_opens_session(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        with recording() as tel:
+            assert isinstance(tel, Telemetry)
+            assert get_telemetry() is tel
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_force_true_overrides_env(self):
+        with recording(force=True) as tel:
+            assert tel.enabled
+
+    def test_force_false_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        with recording(force=False) as tel:
+            assert tel is NULL_TELEMETRY
+
+    def test_nested_recording_reuses_session(self):
+        with recording(force=True) as outer:
+            with recording() as inner:
+                assert inner is outer
+
+    def test_session_popped_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with recording(force=True):
+                raise RuntimeError("boom")
+        assert get_telemetry() is NULL_TELEMETRY
+
+
+class TestWorkerRecording:
+    def test_null_when_nothing_recording(self):
+        with worker_recording() as tel:
+            assert tel is NULL_TELEMETRY
+
+    def test_fresh_detached_session_inside_driver_scope(self):
+        """Serial engine path: the worker body runs in the driver process;
+        its spans must still travel via the exported payload, not leak into
+        the driver session directly."""
+        with recording(force=True) as driver:
+            with worker_recording() as worker:
+                assert worker is not driver
+                assert get_telemetry() is worker
+                with worker.tracer.span("batch"):
+                    pass
+            assert get_telemetry() is driver
+            assert driver.tracer.export() == []  # nothing leaked
+            payload = worker.export_payload()
+            assert [s["name"] for s in payload["spans"]] == ["batch"]
+
+    def test_env_toggle_enables_worker_session(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        with worker_recording() as tel:
+            assert tel.enabled
+
+
+class TestPayloadRoundtrip:
+    def test_absorb_payload_reparents_and_merges_metrics(self):
+        worker = Telemetry()
+        with worker.tracer.span("batch"):
+            worker.metrics.counter("tasks").inc(2)
+        driver = Telemetry()
+        with driver.tracer.span("engine") as engine:
+            pass
+        driver.absorb_payload(worker.export_payload(), engine.span_id)
+        by_name = {s["name"]: s for s in driver.tracer.export()}
+        assert by_name["batch"]["parent_id"] == engine.span_id
+        assert driver.metrics.snapshot()["counters"]["tasks"] == 2.0
+
+    def test_null_payload_shape(self):
+        payload = NULL_TELEMETRY.export_payload()
+        assert payload == {"spans": [], "metrics": {}}
+        NULL_TELEMETRY.absorb_payload(payload)  # no-op, no error

@@ -1,0 +1,138 @@
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.sink import (
+    TRACE_FILENAME,
+    TRACE_SCHEMA,
+    build_trace_records,
+    read_trace,
+    validate_trace_records,
+    write_trace,
+)
+from repro.util.artifacts import sha256_bytes
+
+
+def _session_with_data() -> Telemetry:
+    tel = Telemetry()
+    with tel.tracer.span("outer"):
+        with tel.tracer.span("inner", kernel="k"):
+            pass
+    tel.metrics.counter("tasks").inc(3)
+    tel.metrics.gauge("cache.size").set(2)
+    tel.metrics.histogram("latency", (1.0,)).observe(0.5)
+    return tel
+
+
+class TestBuild:
+    def test_header_first_with_schema_and_meta(self):
+        records = build_trace_records(_session_with_data(), meta={"kind": "test"})
+        assert records[0]["type"] == "header"
+        assert records[0]["schema"] == TRACE_SCHEMA
+        assert records[0]["meta"] == {"kind": "test"}
+
+    def test_stage_records_copied_verbatim(self):
+        stage_seconds = {"fit": 1.25, "total": 2.0}
+        records = build_trace_records(_session_with_data(), stage_seconds=stage_seconds)
+        stages = {r["stage"]: r["seconds"] for r in records if r["type"] == "stage"}
+        assert stages == stage_seconds
+
+    def test_invalid_stage_seconds_rejected(self):
+        with pytest.raises(ValueError, match="invalid seconds"):
+            build_trace_records(_session_with_data(), stage_seconds={"fit": -1.0})
+
+    def test_span_and_metric_records_present(self):
+        records = build_trace_records(_session_with_data())
+        types = [r["type"] for r in records]
+        assert types.count("span") == 2
+        kinds = {r["kind"] for r in records if r["type"] == "metric"}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tmp_path):
+        records = build_trace_records(
+            _session_with_data(), stage_seconds={"fit": 1.0}, meta={"kind": "test"}
+        )
+        path = tmp_path / TRACE_FILENAME
+        digest = write_trace(path, records)
+        assert digest == sha256_bytes(path.read_bytes())
+        assert read_trace(path) == records
+
+    def test_file_is_one_json_record_per_line(self, tmp_path):
+        path = tmp_path / TRACE_FILENAME
+        write_trace(path, build_trace_records(_session_with_data()))
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_malformed_line_rejected_on_read(self, tmp_path):
+        path = tmp_path / TRACE_FILENAME
+        write_trace(path, build_trace_records(_session_with_data()))
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_trace(path)
+
+    def test_invalid_records_never_persisted(self, tmp_path):
+        path = tmp_path / TRACE_FILENAME
+        with pytest.raises(ValueError):
+            write_trace(path, [{"type": "stage", "stage": "fit", "seconds": 1.0}])
+        assert not path.exists()
+
+
+class TestValidation:
+    def _valid(self):
+        return build_trace_records(_session_with_data(), stage_seconds={"fit": 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            validate_trace_records([])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            validate_trace_records(self._valid()[1:])
+
+    def test_wrong_schema_rejected(self):
+        records = self._valid()
+        records[0] = {**records[0], "schema": "repro.trace/v999"}
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            validate_trace_records(records)
+
+    def test_duplicate_header_rejected(self):
+        records = self._valid()
+        with pytest.raises(ValueError, match="duplicate header"):
+            validate_trace_records(records + [records[0]])
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown record type"):
+            validate_trace_records(self._valid() + [{"type": "mystery"}])
+
+    def test_non_finite_stage_seconds_rejected(self):
+        bad = {"type": "stage", "stage": "fit", "seconds": float("nan")}
+        with pytest.raises(ValueError, match="finite"):
+            validate_trace_records(self._valid() + [bad])
+
+    def test_negative_span_duration_rejected(self):
+        records = self._valid()
+        span = next(r for r in records if r["type"] == "span")
+        span["duration_s"] = -0.5
+        with pytest.raises(ValueError, match="negative span duration"):
+            validate_trace_records(records)
+
+    def test_bool_is_not_a_number(self):
+        bad = {"type": "metric", "kind": "gauge", "name": "g", "value": True}
+        with pytest.raises(ValueError, match="finite number"):
+            validate_trace_records(self._valid() + [bad])
+
+    def test_histogram_counts_length_enforced(self):
+        bad = {
+            "type": "metric",
+            "kind": "histogram",
+            "name": "h",
+            "boundaries": [1.0, 2.0],
+            "counts": [1, 2],  # needs 3
+            "sum": 1.0,
+            "count": 3,
+        }
+        with pytest.raises(ValueError, match="counts"):
+            validate_trace_records(self._valid() + [bad])

@@ -121,6 +121,62 @@ class TestSelectBest:
         assert best.function.terms[0].coefficient < 0
 
 
+class TestNaNGuard:
+    """NaN CV-SMAPE corrupts min(): NaN comparisons are all False, so a NaN
+    candidate wins or loses purely by list position. select_best must refuse
+    such candidates instead of ranking arbitrarily."""
+
+    def _scored(self, values):
+        hyps = [Hypothesis.constant(1), Hypothesis([{0: CompoundTerm(1)}], 1)]
+        return evaluate_hypotheses(hyps, XS, values)
+
+    def _with_nan(self, scored, position):
+        from dataclasses import replace
+
+        corrupt = replace(scored[0], cv_smape=float("nan"))
+        rest = list(scored[1:])
+        rest.insert(position, corrupt)
+        return rest
+
+    def test_nan_candidate_rejected_regardless_of_position(self):
+        gen = np.random.default_rng(0)
+        values = 2.0 + 0.5 * XS[:, 0] + gen.normal(0, 0.1, 5)
+        scored = self._scored(values)
+        for position in range(len(scored)):
+            with pytest.raises(ValueError, match="NaN CV-SMAPE"):
+                select_best(self._with_nan(scored, position))
+
+    def test_error_names_the_corrupt_candidates(self):
+        gen = np.random.default_rng(0)
+        values = 2.0 + 0.5 * XS[:, 0] + gen.normal(0, 0.1, 5)
+        scored = self._scored(values)
+        with pytest.raises(ValueError, match=r"1 candidate\(s\)"):
+            select_best(self._with_nan(scored, 0))
+
+    def test_nan_candidate_cannot_win_by_list_order(self):
+        """The selection-side guard: before the fix, a NaN candidate placed
+        first would win min() outright (every comparison against it is
+        False). Now no ordering lets it through."""
+        gen = np.random.default_rng(0)
+        values = 2.0 + 0.5 * XS[:, 0] + gen.normal(0, 0.1, 5)
+        scored = self._scored(values)
+        # sanity: without corruption, selection succeeds
+        clean = select_best(scored)
+        assert np.isfinite(clean.cv_smape)
+
+    def test_degenerate_fit_is_skipped_not_ranked(self):
+        """An overflowing hypothesis records in-sample SMAPE of inf (not NaN)
+        and its non-finite LOO predictions exclude it from scoring, so
+        select_best never sees NaN from this path."""
+        huge = np.array([[1e100], [2e100], [3e100], [4e100], [5e100]])
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        hyps = [Hypothesis.constant(1), Hypothesis([{0: CompoundTerm(3)}], 1)]
+        scored = evaluate_hypotheses(hyps, huge, values)
+        assert all(not np.isnan(s.cv_smape) for s in scored)
+        best = select_best(scored)
+        assert np.isfinite(best.cv_smape)
+
+
 class TestCvConsistency:
     def test_cv_score_reproducible_from_parts(self):
         gen = np.random.default_rng(3)

@@ -44,3 +44,29 @@ class TestSmape:
         a = np.asarray(values)
         p = a * 1.3 + 1.0
         assert smape(a, p) == pytest.approx(smape(p, a))
+
+
+class TestNonFiniteInputs:
+    """smape silently returned NaN on NaN/Inf inputs; a NaN score then
+    corrupted hypothesis ranking (NaN comparisons are order-dependent in
+    min()). It now refuses loudly, naming the offending indices."""
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_bad_prediction_raises(self, bad):
+        with pytest.raises(ValueError, match="non-finite SMAPE input"):
+            smape(np.array([1.0, 2.0]), np.array([1.0, bad]))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf])
+    def test_bad_actual_raises(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            smape(np.array([bad, 2.0]), np.array([1.0, 2.0]))
+
+    def test_error_names_offending_index(self):
+        with pytest.raises(ValueError, match="index 2"):
+            smape(np.array([1.0, 2.0, np.nan]), np.array([1.0, 2.0, 3.0]))
+
+    def test_many_bad_indices_truncated_with_total(self):
+        a = np.full(15, np.nan)
+        p = np.ones(15)
+        with pytest.raises(ValueError, match=r"\(15 total\)"):
+            smape(a, p)

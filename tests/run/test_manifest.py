@@ -116,6 +116,68 @@ class TestJournal:
         assert set(manifest.completed_tasks()) == {0, 2}
 
 
+class TestPayloadValidator:
+    def test_valid_payloads_pass_through(self, tmp_path):
+        def check(index, payload):
+            if not isinstance(payload, tuple):
+                raise ValueError("payload must be a tuple")
+
+        manifest = RunManifest.create(tmp_path / "run", "h", payload_validator=check)
+        manifest.record_task(0, ("ok", 1))
+        assert manifest.completed_tasks() == {0: ("ok", 1)}
+
+    def test_rejected_payload_names_the_task(self, tmp_path):
+        """Unlike a torn pickle (silently re-run), a payload that deserialises
+        fine but fails validation is a correctness hazard: replay must refuse
+        loudly rather than fold corrupt data into the merged result."""
+
+        def check(index, payload):
+            if payload.get("fit", 0.0) < 0.0:
+                raise ValueError("negative stage time")
+
+        manifest = RunManifest.create(tmp_path / "run", "h", payload_validator=check)
+        manifest.record_task(0, {"fit": 1.0})
+        manifest.record_task(4, {"fit": -2.0})
+        with pytest.raises(RunManifestError, match=r"task 4.*negative stage time"):
+            manifest.completed_tasks()
+
+    def test_validator_applies_on_resume(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_task(0, {"fit": -1.0})
+
+        def check(index, payload):
+            raise ValueError("always bad")
+
+        resumed = RunManifest.open(
+            tmp_path / "run", "h", resume=True, payload_validator=check
+        )
+        with pytest.raises(RunManifestError, match="task 0"):
+            resumed.completed_tasks()
+
+
+class TestArtifacts:
+    def test_record_and_lookup(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_artifact("trace", "trace.jsonl", "a" * 64)
+        artifacts = manifest.artifacts()
+        assert artifacts["trace"]["file"] == "trace.jsonl"
+        assert artifacts["trace"]["sha256"] == "a" * 64
+        # Artifact records do not pollute the task replay.
+        assert manifest.completed_tasks() == {}
+
+    def test_last_record_wins(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_artifact("trace", "trace.jsonl", "a" * 64)
+        manifest.record_artifact("trace", "trace.jsonl", "b" * 64)
+        assert manifest.artifacts()["trace"]["sha256"] == "b" * 64
+
+    def test_artifacts_survive_resume(self, tmp_path):
+        manifest = RunManifest.open(tmp_path / "run", "h")
+        manifest.record_artifact("trace", "trace.jsonl", "c" * 64)
+        resumed = RunManifest.open(tmp_path / "run", "h", resume=True)
+        assert resumed.artifacts()["trace"]["sha256"] == "c" * 64
+
+
 class TestQuarantine:
     def test_record_and_list(self, tmp_path):
         manifest = RunManifest.create(tmp_path / "run", "h")

@@ -141,6 +141,64 @@ class TestGenerateCommand:
             )
 
 
+class TestTraceCommand:
+    @pytest.fixture
+    def telemetry_env(self, monkeypatch):
+        """--telemetry sets REPRO_TELEMETRY via os.environ directly; scrub it
+        so the toggle cannot leak into other tests."""
+        import os
+
+        from repro.obs import ENV_VAR
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        yield
+        os.environ.pop(ENV_VAR, None)
+
+    def _tiny_evaluate(self, run_dir):
+        return main(
+            [
+                "evaluate", "--params", "1", "--noise", "5", "--functions", "4",
+                "--batch", "2", "--seed", "1", "--telemetry",
+                "--run-dir", str(run_dir),
+            ]
+        )
+
+    def test_evaluate_telemetry_writes_and_announces_trace(
+        self, telemetry_env, tmp_path, capsys
+    ):
+        assert self._tiny_evaluate(tmp_path / "run") == 0
+        out = capsys.readouterr().out
+        assert "telemetry trace:" in out
+        assert (tmp_path / "run" / "trace.jsonl").exists()
+
+    def test_trace_renders_text_summary(self, telemetry_env, tmp_path, capsys):
+        self._tiny_evaluate(tmp_path / "run")
+        capsys.readouterr()
+        assert main(["trace", str(tmp_path / "run")]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage wall time" in out
+        assert "sweep.run" in out
+
+    def test_trace_json_format_is_parseable(self, telemetry_env, tmp_path, capsys):
+        import json
+
+        self._tiny_evaluate(tmp_path / "run")
+        capsys.readouterr()
+        assert main(["trace", str(tmp_path / "run"), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == "repro.trace-summary/v1"
+        assert {s["stage"] for s in summary["stages"]} >= {"fit", "total"}
+
+    def test_missing_trace_points_at_telemetry_flag(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_trace_registered_in_parser(self):
+        args = build_parser().parse_args(["trace", "some/dir"])
+        assert callable(args.func)
+        assert args.format == "text"
+
+
 class TestModelCommand:
     def test_regression_model_printed(self, experiment_json, capsys):
         assert main(["model", experiment_json, "--method", "regression"]) == 0

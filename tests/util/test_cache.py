@@ -49,15 +49,45 @@ class TestLRUCache:
         assert cache.evictions == 0
         assert cache.get("a") == 10
 
+    def test_overwrite_refreshes_recency(self):
+        """Overwriting an entry makes it most recently used: the *other*
+        entry must be the next eviction victim."""
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"] = 10  # "a" is now newest; "b" is the oldest
+        cache["c"] = 3
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_contains_does_not_refresh_recency(self):
+        """A peek must not save an entry from eviction -- only get() counts
+        as a use."""
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert "a" in cache  # peek only; "a" stays oldest
+        cache["c"] = 3
+        assert "a" not in cache
+        assert "b" in cache
+
     def test_clear_resets_counters(self):
         cache = LRUCache(2)
         cache["a"] = 1
-        cache.get("a")
+        cache["b"] = 2
+        cache["c"] = 3  # one eviction
         cache.get("b")
+        cache.get("missing")
         cache.clear()
         assert len(cache) == 0
         assert cache.hits == 0
         assert cache.misses == 0
+        assert cache.evictions == 0
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 2,
+        }
 
     def test_stats(self):
         cache = LRUCache(3)

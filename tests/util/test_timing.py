@@ -2,7 +2,8 @@ import time
 
 import pytest
 
-from repro.util.timing import Timer
+from repro.testing import faults
+from repro.util.timing import StageTimer, Timer, validate_stage_seconds
 
 
 class TestTimer:
@@ -44,3 +45,100 @@ class TestTimer:
             pass
         t.reset()
         assert t.elapsed == 0.0
+
+    def test_exit_is_idempotent_after_manual_stop(self):
+        """A body that already called stop() must not blow up on exit with
+        'timer not running' -- exiting an already-stopped timer is a no-op."""
+        t = Timer()
+        with t:
+            t.stop()
+        assert t.elapsed >= 0.0
+
+    def test_exit_is_exception_transparent(self):
+        """The original exception must propagate even when the body stopped
+        the timer first (the fault-injection paths do exactly this); before
+        the fix, __exit__ raised RuntimeError('timer not running') and
+        masked it."""
+        t = Timer()
+        with pytest.raises(ValueError, match="original"):
+            with t:
+                t.stop()
+                raise ValueError("original")
+
+    def test_exit_with_exception_still_accumulates(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                time.sleep(0.005)
+                raise ValueError("boom")
+        assert t.elapsed >= 0.004
+
+
+class TestValidateStageSeconds:
+    def test_accepts_valid_mapping(self):
+        validate_stage_seconds({"fit": 0.0, "select": 1.5})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.001])
+    def test_rejects_non_finite_or_negative(self, bad):
+        with pytest.raises(ValueError, match="'fit'"):
+            validate_stage_seconds({"fit": bad})
+
+    @pytest.mark.parametrize("bad", ["1.0", None, True])
+    def test_rejects_non_numbers(self, bad):
+        with pytest.raises(ValueError, match="must be a number"):
+            validate_stage_seconds({"fit": bad})
+
+    def test_error_names_stage_and_value(self):
+        with pytest.raises(ValueError, match=r"stage 'classify'.*-2\.0"):
+            validate_stage_seconds({"classify": -2.0})
+
+
+class TestStageTimer:
+    def test_time_accumulates_per_stage(self):
+        stages = StageTimer()
+        with stages.time("fit"):
+            pass
+        with stages.time("fit"):
+            pass
+        assert set(stages.seconds) == {"fit"}
+        assert stages.seconds["fit"] >= 0.0
+
+    def test_time_records_even_when_body_raises(self):
+        stages = StageTimer()
+        with pytest.raises(ValueError):
+            with stages.time("fit"):
+                time.sleep(0.005)
+                raise ValueError("boom")
+        assert stages.seconds["fit"] >= 0.004
+
+    def test_time_survives_injected_fault(self):
+        """Audit under fault injection: a fault firing inside a timed stage
+        propagates untouched and the stage still records its elapsed time."""
+        faults.activate("stage.body:raise@1")
+        try:
+            stages = StageTimer()
+            with pytest.raises(faults.InjectedFault):
+                with stages.time("fit"):
+                    faults.fault_point("stage.body")
+            assert stages.seconds["fit"] >= 0.0
+        finally:
+            faults.deactivate()
+
+    def test_merge_adds_and_validates(self):
+        stages = StageTimer()
+        stages.add("fit", 1.0)
+        stages.merge({"fit": 0.5, "select": 0.25})
+        assert stages.seconds == {"fit": 1.5, "select": 0.25}
+
+    @pytest.mark.parametrize("bad", [float("nan"), -1.0])
+    def test_merge_rejects_corrupt_values_naming_stage(self, bad):
+        stages = StageTimer()
+        stages.add("fit", 1.0)
+        with pytest.raises(ValueError, match="'select'"):
+            stages.merge({"select": bad})
+        # a rejected merge must not have partially applied
+        assert stages.seconds == {"fit": 1.0}
+
+    def test_add_rejects_negative(self):
+        with pytest.raises(ValueError, match="'fit'"):
+            StageTimer().add("fit", -0.5)
