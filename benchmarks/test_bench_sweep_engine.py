@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.dnn.modeler import DNNModeler
 from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.parallel.pool import execution_profile
 from repro.regression.modeler import RegressionModeler
 from repro.util.artifacts import atomic_write_json
 
@@ -79,6 +80,7 @@ def test_engine_speedup_vs_seed_dispatch(generic_network, record_table, benchmar
         "tasks": len(NOISE_LEVELS) * FUNCTIONS_PER_LEVEL,
         "seed": SEED,
         "cpu_count": cpus,
+        "execution_profile": execution_profile(ENGINE_WORKERS),
         "seed_path": {
             "processes": 1,
             "batch_size": 1,

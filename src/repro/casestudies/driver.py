@@ -112,6 +112,7 @@ def run_case_study(
     progress: "Callable[[Progress], None] | None" = None,
     run_dir: "str | None" = None,
     resume: bool = False,
+    adaptation_cache=None,
 ) -> CaseStudyResult:
     """Simulate the campaign and evaluate every modeler on it.
 
@@ -139,8 +140,24 @@ def run_case_study(
     re-runs only the missing ones, bit-identically. The campaign simulation
     is recomputed on resume -- it is deterministic given the seed and cheap
     next to modeling.
+
+    ``adaptation_cache`` (a directory path or a ready
+    :class:`~repro.dnn.adaptation_cache.AdaptationStore`) shares
+    domain-adaptation retraining across the adaptation-enabled DNN
+    modelers: the parent adapts the modeling experiment's task cluster
+    once, before dispatch, and every modeler task loads the stored weights
+    instead of re-adapting. Results are bit-identical with the cache on,
+    off, warm, or cold -- adaptation RNG streams are derived from the
+    cluster key, never from the modeler streams.
     """
     modelers = create_modelers(modelers)
+    adaptation_store, adapting_dnns = (None, [])
+    if adaptation_cache is not None:
+        from repro.dnn.adaptation_cache import resolve_store
+
+        adaptation_store, adapting_dnns = resolve_store(
+            adaptation_cache, list(modelers.values())
+        )
     journal = None
     if run_dir is not None:
         fingerprint = config_fingerprint(
@@ -176,6 +193,30 @@ def run_case_study(
             engine_config = engine or EngineConfig()
             if processes is not None:
                 engine_config = replace(engine_config, processes=processes)
+            pre_pass = None
+            if adaptation_store is not None:
+
+                def pre_pass() -> None:
+                    # Timed as the ``adapt`` stage (a subset of ``modeling``'s
+                    # wall time, since the engine invokes it). Every modeler
+                    # sees the same modeling experiment, so there is exactly
+                    # one cluster key per distinct generic network to warm.
+                    from repro.dnn.domain_adaptation import AdaptationTask
+
+                    with stages.time("adapt"):
+                        key = AdaptationTask.from_experiment(modeling).key(
+                            adaptation_store.resolution
+                        )
+                        seen: list = []
+                        for dnn in adapting_dnns:
+                            network = dnn.generic_network
+                            if any(network is other for other in seen):
+                                continue
+                            seen.append(network)
+                            adaptation_store.warm_up(
+                                network, [key], manifest=journal
+                            )
+
             with stages.time("modeling"):
                 with tel.tracer.span(
                     "casestudy.engine", tasks=len(modelers)
@@ -188,6 +229,7 @@ def run_case_study(
                         initargs=(modeling, modelers),
                         progress=progress,
                         journal=journal,
+                        pre_pass=pre_pass,
                     )
 
             outcomes: list[KernelOutcome] = []

@@ -163,10 +163,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     # The synthetic sweep classifies with the generic network: the
     # pretraining distribution already matches the synthesized tasks.
+    # --adaptation-cache opts back into domain adaptation, made affordable
+    # by sharing each task cluster's retraining through the store.
     modelers = {
         "regression": "regression",
         "adaptive": "adaptive(use_domain_adaptation=False)",
     }
+    adaptation_cache = None
+    if args.adaptation_cache is not None:
+        from repro.dnn.adaptation_cache import AdaptationStore
+
+        modelers["adaptive"] = "adaptive"
+        adaptation_cache = AdaptationStore(
+            args.adaptation_cache,
+            resolution=args.adaptation_resolution / 100.0,
+        )
     config = SweepConfig(
         n_params=args.params,
         noise_levels=tuple(n / 100 for n in args.noise),
@@ -189,6 +200,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         progress=_progress_printer() if args.progress else None,
         run_dir=args.resume or args.run_dir,
         resume=args.resume is not None,
+        adaptation_cache=adaptation_cache,
     )
     print(format_accuracy_table(result, title=f"Model accuracy, m={args.params} (Fig. 3)"))
     print()
@@ -197,7 +209,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if stages:
         breakdown = ", ".join(
             f"{stage} {stages[stage]:.2f}s"
-            for stage in ("synthesize", "classify", "fit", "total")
+            for stage in ("adapt", "synthesize", "classify", "fit", "total")
             if stage in stages
         )
         print(f"\nstage wall-time: {breakdown}")
@@ -340,6 +352,14 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
 
     application = ALL_STUDIES[args.name]()
     modelers = {"regression": "regression", "adaptive": "adaptive"}
+    adaptation_cache = None
+    if args.adaptation_cache is not None:
+        from repro.dnn.adaptation_cache import AdaptationStore
+
+        adaptation_cache = AdaptationStore(
+            args.adaptation_cache,
+            resolution=args.adaptation_resolution / 100.0,
+        )
     if args.telemetry:
         _enable_telemetry_env()
     result = run_case_study(
@@ -349,6 +369,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         processes=args.processes,
         run_dir=args.resume or args.run_dir,
         resume=args.resume is not None,
+        adaptation_cache=adaptation_cache,
     )
     print(f"== {result.application} ==")
     print(f"noise (Fig. 5): {result.noise.format()}")
@@ -469,6 +490,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="record spans/metrics and write trace.jsonl into the run directory "
         "(sets REPRO_TELEMETRY=1; modeling results are bit-identical either way)",
     )
+    p_eval.add_argument(
+        "--adaptation-cache", metavar="DIR", default=None,
+        help="share domain-adaptation retraining through an on-disk weight "
+        "store in DIR (turns domain adaptation on for the adaptive modeler; "
+        "results are bit-identical warm or cold)",
+    )
+    p_eval.add_argument(
+        "--adaptation-resolution", type=float, default=5.0, metavar="PCT",
+        help="noise-band bucket width in percent for adaptation clustering "
+        "(<= 0 clusters only exactly-equal bands; default: 5)",
+    )
     g_eval = p_eval.add_mutually_exclusive_group()
     g_eval.add_argument(
         "--run-dir", default=None,
@@ -520,6 +552,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="record spans/metrics and write trace.jsonl into the run directory "
         "(sets REPRO_TELEMETRY=1; modeling results are bit-identical either way)",
+    )
+    p_case.add_argument(
+        "--adaptation-cache", metavar="DIR", default=None,
+        help="share domain-adaptation retraining through an on-disk weight "
+        "store in DIR (results are bit-identical warm or cold)",
+    )
+    p_case.add_argument(
+        "--adaptation-resolution", type=float, default=5.0, metavar="PCT",
+        help="noise-band bucket width in percent for adaptation clustering "
+        "(<= 0 clusters only exactly-equal bands; default: 5)",
     )
     g_case = p_case.add_mutually_exclusive_group()
     g_case.add_argument(

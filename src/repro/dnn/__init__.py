@@ -13,7 +13,15 @@ points, repetition count, and estimated noise range.
 from repro.dnn.config import NetworkConfig, PretrainConfig
 from repro.dnn.factory import build_network
 from repro.dnn.pretrained import pretrain_network, load_or_pretrain
-from repro.dnn.domain_adaptation import AdaptationTask, adapt_network
+from repro.dnn.domain_adaptation import (
+    AdaptationKey,
+    AdaptationTask,
+    adapt_network,
+    adapt_network_for_key,
+    adapt_networks_fused,
+    adaptation_generator,
+)
+from repro.dnn.adaptation_cache import AdaptationStore
 from repro.dnn.modeler import DNNModeler
 from repro.dnn.analysis import ClassifierReport, evaluate_classifier
 
@@ -25,7 +33,12 @@ __all__ = [
     "build_network",
     "pretrain_network",
     "load_or_pretrain",
+    "AdaptationKey",
+    "AdaptationStore",
     "AdaptationTask",
     "adapt_network",
+    "adapt_network_for_key",
+    "adapt_networks_fused",
+    "adaptation_generator",
     "DNNModeler",
 ]

@@ -10,7 +10,10 @@ adaptive modeler's runtime, which is exactly the overhead Fig. 6 reports.
 
 from __future__ import annotations
 
+import hashlib
+import math
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -23,12 +26,75 @@ from repro.nn.optimizers import AdaMax
 from repro.obs import get_telemetry
 from repro.preprocessing.encoding import MAX_POINTS
 from repro.synthesis.training import TrainingSetConfig, generate_training_set
-from repro.util.seeding import as_generator
+from repro.util.seeding import as_generator, generator_from_digest
 
 #: Paper defaults: "Usually, we use one retraining epoch and a sample size
 #: of 2000 per class."
 DEFAULT_EPOCHS = 1
 DEFAULT_SAMPLES_PER_CLASS = 2000
+#: Retraining defaults: a quarter of the pretraining learning rate (refine,
+#: don't overwrite) and the batch size the adaptation walkthrough uses.
+DEFAULT_ADAPTATION_LEARNING_RATE = 0.0005
+DEFAULT_ADAPTATION_BATCH_SIZE = 256
+#: Default width of the noise-band buckets used by :meth:`AdaptationTask.key`.
+#: Noise ranges are estimated from measurements, so two repetitions of the
+#: same experiment rarely produce bit-equal floats; bucketing to 5% makes
+#: near-identical tasks share one adaptation. Resolutions <= 0 disable
+#: bucketing (exact-band keys).
+DEFAULT_NOISE_RESOLUTION = 0.05
+
+
+def _round9(value: float) -> float:
+    """Canonicalize a float to 9 significant digits (kills repr noise)."""
+    return float(f"{float(value):.9g}")
+
+
+@dataclass(frozen=True)
+class AdaptationKey:
+    """Content-based identity of one adaptation cluster.
+
+    Tasks whose point layouts agree (to 9 significant digits) and whose
+    estimated noise ranges fall into the same bucket map to the same key and
+    therefore share one retrained network. The key is *canonical*: the
+    cluster's training distribution is reconstructed from the key itself
+    (:meth:`task`), never from whichever member happened to be seen first,
+    so cluster membership order cannot change the adapted weights.
+    """
+
+    n_params: int
+    point_layout: tuple[tuple[float, ...], ...]
+    noise_band: tuple[float, float]
+    repetitions: int
+    resolution: float
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable 64-bit hex digest of the key's content.
+
+        Doubles as the seed source of the cluster's retraining RNG
+        (:func:`adaptation_generator`) and as the weight-store file name
+        component, so everything derived from a key is content-addressed.
+        """
+        return hashlib.sha256(repr(self).encode()).hexdigest()[:16]
+
+    def task(self) -> AdaptationTask:
+        """The canonical adaptation task this cluster retrains on."""
+        return AdaptationTask(
+            parameter_value_sets=self.point_layout,
+            noise_range=self.noise_band,
+            repetitions=self.repetitions,
+        )
+
+
+def adaptation_generator(key: AdaptationKey) -> np.random.Generator:
+    """The retraining RNG stream of one adaptation cluster.
+
+    Seeded purely from the key's content digest: the stream is the same no
+    matter which worker adapts, how warm any cache is, or how many draws the
+    caller's generator has consumed. This is the cache-warmth determinism
+    contract -- adaptation never reads, and never advances, a caller RNG.
+    """
+    return generator_from_digest(key.fingerprint)
 
 
 @dataclass(frozen=True)
@@ -77,6 +143,35 @@ class AdaptationTask:
             repetitions=base.repetitions,
         )
 
+    def key(self, resolution: float = DEFAULT_NOISE_RESOLUTION) -> AdaptationKey:
+        """Quantize this task into its cluster's :class:`AdaptationKey`.
+
+        The noise range is widened to the enclosing ``resolution``-aligned
+        band and the point layout rounded to 9 significant digits, so tasks
+        that differ only in estimation jitter cluster together. A
+        ``resolution <= 0`` keeps the exact band (each distinct float range
+        is its own cluster).
+        """
+        layout = tuple(
+            tuple(_round9(v) for v in values) for values in self.parameter_value_sets
+        )
+        lo, hi = self.noise_range
+        if resolution > 0:
+            # Round the quotients before floor/ceil: 0.15 / 0.05 is
+            # 2.9999999999999996 in binary, and flooring that raw value
+            # would put an exactly-aligned bound into the wrong bucket.
+            lo = _round9(math.floor(round(lo / resolution, 9)) * resolution)
+            hi = _round9(math.ceil(round(hi / resolution, 9)) * resolution)
+        else:
+            lo, hi = _round9(lo), _round9(hi)
+        return AdaptationKey(
+            n_params=len(layout),
+            point_layout=layout,
+            noise_band=(lo, hi),
+            repetitions=self.repetitions,
+            resolution=_round9(max(float(resolution), 0.0)),
+        )
+
     def training_config(self, samples_per_class: int = DEFAULT_SAMPLES_PER_CLASS) -> TrainingSetConfig:
         lo, hi = self.noise_range
         # Guard against degenerate all-equal measurements (lo == hi == 0).
@@ -96,8 +191,8 @@ def adapt_network(
     rng=None,
     epochs: int = DEFAULT_EPOCHS,
     samples_per_class: int = DEFAULT_SAMPLES_PER_CLASS,
-    learning_rate: float = 0.0005,
-    batch_size: int = 256,
+    learning_rate: float = DEFAULT_ADAPTATION_LEARNING_RATE,
+    batch_size: int = DEFAULT_ADAPTATION_BATCH_SIZE,
     checkpoint_path=None,
     checkpoint_every: int = 1,
 ) -> Sequential:
@@ -132,3 +227,95 @@ def adapt_network(
             resume_from=checkpoint_path,
         )
     return adapted
+
+
+def adapt_network_for_key(
+    network: Sequential,
+    key: AdaptationKey,
+    epochs: int = DEFAULT_EPOCHS,
+    samples_per_class: int = DEFAULT_SAMPLES_PER_CLASS,
+    learning_rate: float = DEFAULT_ADAPTATION_LEARNING_RATE,
+    batch_size: int = DEFAULT_ADAPTATION_BATCH_SIZE,
+) -> Sequential:
+    """Adapt ``network`` for one cluster, RNG derived from the key.
+
+    This is the reference (unfused) form of the determinism contract: the
+    canonical task comes from the key and the retraining stream from the
+    key's fingerprint, so any process adapting this cluster -- serial,
+    worker, or warm-up pre-pass -- produces bit-identical weights.
+    """
+    return adapt_network(
+        network,
+        key.task(),
+        rng=adaptation_generator(key),
+        epochs=epochs,
+        samples_per_class=samples_per_class,
+        learning_rate=learning_rate,
+        batch_size=batch_size,
+    )
+
+
+def adapt_networks_fused(
+    network: Sequential,
+    keys: "Iterable[AdaptationKey]",
+    epochs: int = DEFAULT_EPOCHS,
+    samples_per_class: int = DEFAULT_SAMPLES_PER_CLASS,
+    learning_rate: float = DEFAULT_ADAPTATION_LEARNING_RATE,
+    batch_size: int = DEFAULT_ADAPTATION_BATCH_SIZE,
+) -> "dict[AdaptationKey, Sequential]":
+    """Adapt one copy of ``network`` per cluster key, in one stacked fit.
+
+    The clusters' synthetic training sets (all ``43 * samples_per_class``
+    rows) are stacked and trained through :func:`repro.nn.fused.fit_fused`,
+    amortizing the framework's matmul dispatch; each cluster keeps its
+    key-derived RNG stream, so the resulting weights are bit-identical to
+    adapting every cluster separately via :func:`adapt_network_for_key`.
+    Architectures the fused trainer does not support fall back to exactly
+    that sequential path.
+    """
+    from repro.nn.fused import fit_fused, supports_fused
+
+    unique: list[AdaptationKey] = []
+    for key in keys:
+        if key not in unique:
+            unique.append(key)
+    if not unique:
+        return {}
+    if len(unique) == 1 or not supports_fused(network):
+        return {
+            key: adapt_network_for_key(
+                network,
+                key,
+                epochs=epochs,
+                samples_per_class=samples_per_class,
+                learning_rate=learning_rate,
+                batch_size=batch_size,
+            )
+            for key in unique
+        }
+    telemetry = get_telemetry()
+    with telemetry.tracer.span(
+        "dnn.adapt_fused",
+        clusters=len(unique),
+        epochs=epochs,
+        samples_per_class=samples_per_class,
+    ):
+        generators, datasets = [], []
+        with telemetry.tracer.span("adapt.training_set"):
+            for key in unique:
+                gen = adaptation_generator(key)
+                datasets.append(
+                    generate_training_set(key.task().training_config(samples_per_class), gen)
+                )
+                generators.append(gen)
+        adapted = [network.copy() for _ in unique]
+        fit_fused(
+            adapted,
+            [x for x, _ in datasets],
+            [y for _, y in datasets],
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            rngs=generators,
+        )
+    return dict(zip(unique, adapted))

@@ -10,10 +10,14 @@ import numpy as np
 
 from repro.dnn.config import PretrainConfig
 from repro.dnn.domain_adaptation import (
+    DEFAULT_ADAPTATION_BATCH_SIZE,
+    DEFAULT_ADAPTATION_LEARNING_RATE,
     DEFAULT_EPOCHS,
+    DEFAULT_NOISE_RESOLUTION,
     DEFAULT_SAMPLES_PER_CLASS,
+    AdaptationKey,
     AdaptationTask,
-    adapt_network,
+    adapt_network_for_key,
 )
 from repro.dnn.pretrained import load_or_pretrain
 from repro.experiment.experiment import Experiment, Kernel
@@ -77,6 +81,8 @@ class DNNModeler:
         adaptation_cache_size: int = DEFAULT_ADAPTATION_CACHE_SIZE,
         line_cache_size: int = DEFAULT_LINE_CACHE_SIZE,
         engine: "str | bool | None" = None,
+        adaptation_resolution: float = DEFAULT_NOISE_RESOLUTION,
+        adaptation_store=None,
     ):
         if top_k < 1:
             raise ValueError("top_k must be positive")
@@ -88,8 +94,15 @@ class DNNModeler:
         self.use_domain_adaptation = use_domain_adaptation
         self.adaptation_epochs = adaptation_epochs
         self.adaptation_samples_per_class = adaptation_samples_per_class
-        #: Adapted networks, bounded LRU keyed by the adaptation task.
-        self._adapted: "LRUCache | dict[AdaptationTask, Sequential]" = LRUCache(
+        #: Noise-band bucket width for adaptation clustering (<= 0: exact).
+        self.adaptation_resolution = adaptation_resolution
+        #: Optional :class:`~repro.dnn.adaptation_cache.AdaptationStore`;
+        #: when set, adapted weights are loaded from / saved to disk so a
+        #: warm-up pre-pass (or a sibling worker) pays the retraining once.
+        self.adaptation_store = adaptation_store
+        #: Adapted networks, bounded LRU keyed by the quantized
+        #: :class:`AdaptationKey` so near-identical tasks share one entry.
+        self._adapted: "LRUCache | dict[AdaptationKey, Sequential]" = LRUCache(
             adaptation_cache_size
         )
         #: Encoded 11-slot input vectors per kernel; key ``(id(kernel),
@@ -113,25 +126,58 @@ class DNNModeler:
             self._network = load_or_pretrain(self._pretrain_config, self._cache_dir)
         return self._network
 
+    def adaptation_key(self, task: AdaptationTask) -> AdaptationKey:
+        """The task's cluster key at this modeler's noise resolution."""
+        return task.key(self.adaptation_resolution)
+
+    def _store_compatible(self) -> bool:
+        """Whether the attached store holds weights this modeler would train."""
+        store = self.adaptation_store
+        # repro-lint: disable-next-line=FLT001 -- exact config equality: both
+        # sides are constructor-stored settings, not computed values, and any
+        # difference means the store addresses differently-trained weights.
+        return (
+            store is not None
+            and store.epochs == self.adaptation_epochs
+            and store.samples_per_class == self.adaptation_samples_per_class
+            and store.learning_rate == DEFAULT_ADAPTATION_LEARNING_RATE
+            and store.batch_size == DEFAULT_ADAPTATION_BATCH_SIZE
+        )
+
     def network_for_task(self, task: "AdaptationTask | None", rng=None) -> Sequential:
-        """Domain-adapted network for ``task`` (memoized), or the generic one."""
+        """Domain-adapted network for ``task`` (memoized), or the generic one.
+
+        Determinism contract: the retraining RNG is derived from the task's
+        cluster key, never from ``rng`` -- the argument is accepted for
+        backward compatibility and deliberately ignored. A cache or store
+        hit therefore consumes exactly as much caller randomness as a miss
+        (none), so downstream draws are bit-identical regardless of cache
+        warmth.
+        """
         if task is None or not self.use_domain_adaptation:
             return self.generic_network
         telemetry = get_telemetry()
-        cached = self._adapted.get(task)
-        if cached is None:
-            telemetry.metrics.counter("dnn.adaptation.misses").inc()
-            cached = adapt_network(
+        key = self.adaptation_key(task)
+        cached = self._adapted.get(key)
+        if cached is not None:
+            telemetry.metrics.counter("dnn.adaptation.hits").inc()
+            return cached
+        telemetry.metrics.counter("dnn.adaptation.misses").inc()
+        adapted = None
+        store_usable = self._store_compatible()
+        if store_usable:
+            adapted = self.adaptation_store.load(self.generic_network, key)
+        if adapted is None:
+            adapted = adapt_network_for_key(
                 self.generic_network,
-                task,
-                rng=rng,
+                key,
                 epochs=self.adaptation_epochs,
                 samples_per_class=self.adaptation_samples_per_class,
             )
-            self._adapted[task] = cached
-        else:
-            telemetry.metrics.counter("dnn.adaptation.hits").inc()
-        return cached
+            if store_usable:
+                self.adaptation_store.save(self.generic_network, key, adapted)
+        self._adapted[key] = adapted
+        return adapted
 
     def reset_caches(self) -> None:
         """Drop all memoized state (adapted networks, encodings, candidates).
@@ -148,7 +194,10 @@ class DNNModeler:
         def stats(cache) -> dict[str, int]:
             if hasattr(cache, "stats"):
                 return cache.stats()
-            return {"size": len(cache)}  # plain dict swapped in by a caller
+            # Plain dict swapped in by a caller: no counters of its own, so
+            # zero-fill them -- consumers (absorb_cache_stats, reports) see
+            # the same shape as LRUCache.stats() either way.
+            return {"hits": 0, "misses": 0, "evictions": 0, "size": len(cache)}
 
         return {
             "adaptation": stats(self._adapted),
@@ -206,6 +255,9 @@ class DNNModeler:
         propagate -- they indicate a bug, not a bad kernel.
         """
         network = network or self.generic_network
+        # Materialize up front: a generator argument would otherwise be
+        # exhausted by this first pass and silently yield no results below.
+        kernels = list(kernels)
         encoded: list["np.ndarray | None"] = []
         failures: list[str] = []
         for kernel in kernels:
@@ -227,7 +279,7 @@ class DNNModeler:
             )
         rows = [vectors for vectors in encoded if vectors is not None]
         if not rows:
-            return [None] * len(list(kernels))
+            return [None] * len(kernels)
         probs = network.predict_proba(np.concatenate(rows, axis=0))
         out: list["list[list[ExponentPair]] | None"] = []
         offset = 0
@@ -275,19 +327,25 @@ class DNNModeler:
                     if self.use_domain_adaptation
                     else None
                 )
-                network = self.network_for_task(task, gen)
+                network = self.network_for_task(task)
             adapt_seconds = adapt_timer.elapsed
         result = self.pipeline.model_kernel(
             kernel, n_params, rng=gen, network=network, method=self.method_name
         )
         if adapt_seconds and result.provenance is not None:
+            # The named ``total`` must cover every stage listed next to it,
+            # adaptation included -- stage shares computed against it would
+            # otherwise exceed 100% whenever adaptation ran.
+            seconds = result.seconds + adapt_seconds
             provenance = replace(
                 result.provenance,
-                stage_seconds={"adapt": adapt_seconds, **result.provenance.stage_seconds},
+                stage_seconds={
+                    "adapt": adapt_seconds,
+                    **result.provenance.stage_seconds,
+                    "total": seconds,
+                },
             )
-            result = replace(
-                result, seconds=result.seconds + adapt_seconds, provenance=provenance
-            )
+            result = replace(result, seconds=seconds, provenance=provenance)
         return result
 
     def model_experiment(self, experiment: Experiment, rng=None) -> dict[str, ModelResult]:
@@ -299,7 +357,7 @@ class DNNModeler:
         """
         gen = as_generator(rng)
         task = AdaptationTask.from_experiment(experiment) if self.use_domain_adaptation else None
-        network = self.network_for_task(task, gen)
+        network = self.network_for_task(task)
         self.classify_batch(experiment.kernels, experiment.n_params, network)
         results = {
             kern.name: self.model_kernel(kern, experiment.n_params, gen, network=network)

@@ -43,7 +43,7 @@ from repro.synthesis.measurements import (
     synthesize_measurements,
 )
 from repro.synthesis.sequences import random_sequence
-from repro.util.seeding import as_generator, spawn_generators
+from repro.util.seeding import as_generator, clone_generator, spawn_generators
 from repro.util.timing import StageTimer, Timer, validate_stage_seconds
 
 #: The noise levels of the paper's synthetic evaluation (Sec. V).
@@ -80,6 +80,14 @@ class SweepConfig:
     #: batch through one stacked forward pass; 1 reproduces the historical
     #: one-task-per-function dispatch (results are identical either way).
     batch_size: int = 16
+    #: Fixed measurement layout for a *repeated-task-shape* sweep: one
+    #: value tuple per parameter, used by every synthesized function
+    #: instead of per-function random sequences. With a shared layout the
+    #: functions' adaptation keys differ only in their (bucketed) noise
+    #: bands, so domain-adapting modelers cluster onto a handful of shared
+    #: retrainings. ``None`` (the default) keeps the paper's randomized
+    #: layouts.
+    parameter_value_sets: "tuple[tuple[float, ...], ...] | None" = None
 
     def __post_init__(self) -> None:
         if self.n_params < 1:
@@ -92,6 +100,18 @@ class SweepConfig:
             raise ValueError(f"unknown layout {self.layout!r} (grid/cross)")
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if self.parameter_value_sets is not None:
+            if len(self.parameter_value_sets) != self.n_params:
+                raise ValueError(
+                    "parameter_value_sets needs one value tuple per parameter "
+                    f"(got {len(self.parameter_value_sets)} for m={self.n_params})"
+                )
+            for values in self.parameter_value_sets:
+                if len(values) < self.points_per_parameter:
+                    raise ValueError(
+                        "each fixed value set needs at least "
+                        f"points_per_parameter={self.points_per_parameter} values"
+                    )
 
 
 @dataclass
@@ -190,7 +210,12 @@ def _synthesize_task(noise: float, gen: np.random.Generator, config: SweepConfig
         truth = random_single_parameter_function(gen)
     else:
         truth = random_multi_parameter_function(m, gen)
-    value_sets = [random_sequence(config.points_per_parameter, None, gen) for _ in range(m)]
+    if config.parameter_value_sets is not None:
+        value_sets = [np.asarray(v, dtype=float) for v in config.parameter_value_sets]
+    else:
+        value_sets = [
+            random_sequence(config.points_per_parameter, None, gen) for _ in range(m)
+        ]
     if config.layout == "cross":
         coords = cross_coordinates(value_sets)
     else:
@@ -296,6 +321,37 @@ def _validate_batch_payload(index: int, payload) -> None:
     validate_stage_seconds(payload[1])
 
 
+def _resolve_adaptation_store(adaptation_cache, modelers: Mapping[str, object]):
+    """Normalize ``adaptation_cache`` into an attached store (lazy import)."""
+    from repro.dnn.adaptation_cache import resolve_store
+
+    return resolve_store(adaptation_cache, list(modelers.values()))
+
+
+def _warm_adaptation_store(store, adapting, config: SweepConfig, tasks, manifest) -> None:
+    """Parent-side warm-up: adapt each task cluster once, before dispatch.
+
+    The cluster keys come from re-synthesizing every task's kernel on a
+    *clone* of its pre-spawned RNG, so the peek consumes nothing from the
+    streams the workers will use. Each distinct generic network is warmed
+    separately (fused across clusters); workers then load the stored
+    weights instead of re-adapting per process.
+    """
+    from repro.dnn.domain_adaptation import AdaptationTask
+
+    keys = []
+    for noise, gen in tasks:
+        _, kernel, _, _ = _synthesize_task(noise, clone_generator(gen), config)
+        keys.append(AdaptationTask.from_kernel(kernel, config.n_params).key(store.resolution))
+    seen: list = []
+    for dnn in adapting:
+        network = dnn.generic_network
+        if any(network is other for other in seen):
+            continue
+        seen.append(network)
+        store.warm_up(network, keys, manifest=manifest)
+
+
 def run_sweep(
     config: SweepConfig,
     modelers: "Mapping[str, object] | Sequence[str]",
@@ -305,6 +361,7 @@ def run_sweep(
     progress: "Callable[[Progress], None] | None" = None,
     run_dir: "str | None" = None,
     resume: bool = False,
+    adaptation_cache=None,
 ) -> SweepResult:
     """Run the full sweep through the fault-tolerant engine.
 
@@ -333,10 +390,25 @@ def run_sweep(
     an uninterrupted run because every function carries a pre-spawned RNG
     keyed by its task index. Resuming with a different configuration or
     seed is refused (the manifest records a configuration fingerprint).
+
+    ``adaptation_cache`` (a directory path or a ready
+    :class:`~repro.dnn.adaptation_cache.AdaptationStore`) turns on adaptation
+    sharing for DNN modelers running with domain adaptation: a parent
+    pre-pass clusters the sweep's tasks by
+    :class:`~repro.dnn.domain_adaptation.AdaptationKey`, adapts each cluster
+    once (fused), and stores the weights where every worker loads them.
+    Results are bit-identical with the cache on, off, warm, or cold --
+    adaptation RNG streams are derived from the cluster keys, never from the
+    task streams.
     """
     if not modelers:
         raise ValueError("at least one modeler is required")
     modelers = create_modelers(modelers)
+    adaptation_store, adapting_dnns = (
+        _resolve_adaptation_store(adaptation_cache, modelers)
+        if adaptation_cache is not None
+        else (None, [])
+    )
     journal = None
     if run_dir is not None:
         fingerprint = config_fingerprint(
@@ -364,6 +436,17 @@ def run_sweep(
     if processes is not None:
         engine_config = replace(engine_config, processes=processes)
     stages = StageTimer()
+    pre_pass = None
+    if adaptation_store is not None:
+
+        def pre_pass() -> None:
+            # Timed as the run's ``adapt`` stage; runs inside the engine
+            # span and the total timer, so the named total covers it.
+            with stages.time("adapt"):
+                _warm_adaptation_store(
+                    adaptation_store, adapting_dnns, config, tasks, journal
+                )
+
     with recording() as tel:
         with tel.tracer.span(
             "sweep.run",
@@ -382,6 +465,7 @@ def run_sweep(
                         initargs=(config, modelers),
                         progress=progress,
                         journal=journal,
+                        pre_pass=pre_pass,
                     )
             raw: list[TaskOutcome] = []
             engine_failures = 0

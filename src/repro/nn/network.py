@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import pickle
@@ -282,6 +283,20 @@ class Sequential:
                     f"shape mismatch for {name}: {layer.params[name].shape} vs {w.shape}"
                 )
             layer.params[name] = np.asarray(w, dtype=layer.params[name].dtype).copy()
+
+    def weights_digest(self) -> str:
+        """Stable content hash of architecture + current weights.
+
+        Two networks with bit-identical weights and the same layer stack
+        share a digest, so content-addressed stores (the adaptation weight
+        store) can tell which generic network an adapted checkpoint came
+        from without loading it.
+        """
+        digest = hashlib.sha256()
+        digest.update(json.dumps([layer.spec() for layer in self.layers]).encode())
+        for w in self.get_weights():
+            digest.update(np.ascontiguousarray(w).tobytes())
+        return digest.hexdigest()[:16]
 
     def copy(self) -> "Sequential":
         """Structural deep copy (same architecture, copied weights)."""

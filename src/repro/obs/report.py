@@ -42,13 +42,21 @@ def summarize_trace(records: "list[dict]") -> dict:
     # Share denominator: the end-to-end 'total' stage when present (worker
     # stages can sum past it under parallelism), else the sum of stages.
     named_total = next((s["seconds"] for s in stages if s["stage"] == "total"), None)
-    stage_total = (
-        named_total
-        if named_total
-        else sum(s["seconds"] for s in stages if s["stage"] != "total")
-    )
+    summed = sum(s["seconds"] for s in stages if s["stage"] != "total")
+    stage_total = named_total if named_total else summed
     for entry in stages:
         entry["share"] = entry["seconds"] / stage_total if stage_total > 0 else 0.0
+    # Worker stage timings are summed CPU-seconds across every process;
+    # only 'total' is wall time. Under parallelism the sum legitimately
+    # exceeds it (e.g. fit 10.852s vs total 3.456s with 4 workers), so
+    # flag that and say so in the rendered report rather than letting the
+    # >100 % shares read as a bookkeeping bug.
+    stage_note = None
+    if named_total is not None and summed > named_total:
+        stage_note = (
+            "worker stages are CPU-seconds summed across processes; only "
+            "'total' is wall time, so stages can sum past it under parallelism"
+        )
 
     span_groups: dict[str, dict] = {}
     kernels: dict[str, dict] = {}
@@ -94,6 +102,7 @@ def summarize_trace(records: "list[dict]") -> dict:
         "created": header.get("created"),
         "meta": header.get("meta", {}),
         "stages": stages,
+        "stage_note": stage_note,
         "spans": sorted(span_groups.values(), key=lambda g: -g["seconds"]),
         "kernels": sorted(kernels.values(), key=lambda k: -k["seconds"]),
         "workers": len(workers),
@@ -116,7 +125,9 @@ def render_trace_text(summary: dict) -> str:
             [s["stage"], f"{s['seconds']:.3f}", f"{s['share'] * 100:.1f}"]
             for s in summary["stages"]
         ]
-        blocks.append(render_table(["stage", "seconds", "share %"], rows, title="Per-stage wall time"))
+        blocks.append(render_table(["stage", "seconds", "share %"], rows, title="Per-stage time"))
+        if summary.get("stage_note"):
+            blocks.append(f"note: {summary['stage_note']}")
     if summary["spans"]:
         rows = [
             [g["name"], str(g["count"]), f"{g['seconds']:.3f}", f"{g['mean_s'] * 1000:.2f}", f"{g['max_s'] * 1000:.2f}"]

@@ -217,6 +217,7 @@ def run_tasks(
     initargs: tuple = (),
     progress: "Callable[[Progress], None] | None" = None,
     journal=None,
+    pre_pass: "Callable[[], None] | None" = None,
 ) -> "list[R | TaskFailure]":
     """Map ``fn`` over ``items`` under the engine's fault-tolerance policy.
 
@@ -232,6 +233,13 @@ def run_tasks(
     ``journal.record_task(index, result)`` as soon as its chunk is
     collected. Failures (:class:`TaskFailure`) are never journaled -- a
     resumed run gives them a fresh set of attempts.
+
+    ``pre_pass`` runs once in the parent, after resume restoration but
+    before any task is dispatched (and before workers fork), and is skipped
+    when the journal already covers every task. It exists for shared-state
+    preparation whose cost must be paid once rather than per worker -- e.g.
+    warming the domain-adaptation weight store so workers load checkpoints
+    instead of re-adapting.
     """
     config = config or EngineConfig()
     items = list(items)
@@ -249,6 +257,9 @@ def run_tasks(
     with telemetry.tracer.span(
         "engine.run_tasks", tasks=len(items), processes=n_procs, restored=len(restored)
     ):
+        if pre_pass is not None and len(restored) < len(items):
+            with telemetry.tracer.span("engine.pre_pass"):
+                pre_pass()
         if n_procs <= 1 or len(items) - len(restored) <= 1:
             results = _run_serial(
                 fn, items, config, initializer, initargs, state, restored, journal

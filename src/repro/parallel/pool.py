@@ -50,6 +50,22 @@ def resolve_processes(processes: "int | None" = None) -> int:
     return max(processes, 1)
 
 
+def execution_profile(processes: "int | None" = None) -> dict:
+    """The resolved worker count next to the machine's CPU count.
+
+    Benchmark records embed this so perf numbers can be read in context: a
+    "4-process" run on a 1-CPU container is oversubscribed, and its summed
+    worker CPU-seconds legitimately exceed the wall-clock stage totals.
+    """
+    resolved = resolve_processes(processes)
+    cpu_count = os.cpu_count() or 1
+    return {
+        "processes": resolved,
+        "cpu_count": cpu_count,
+        "oversubscribed": resolved > cpu_count,
+    }
+
+
 def pool_context(start_method: "str | None" = None) -> multiprocessing.context.BaseContext:
     """The multiprocessing context used for sweep pools.
 

@@ -33,6 +33,30 @@ def as_generator(rng: "np.random.Generator | int | None" = None) -> np.random.Ge
     raise TypeError(f"cannot interpret {type(rng).__name__} as a random generator")
 
 
+def clone_generator(rng: "np.random.Generator | int | None") -> np.random.Generator:
+    """An independent generator frozen at ``rng``'s current stream position.
+
+    Lets a pre-pass *peek* at what a task's stream will produce (e.g. to
+    compute adaptation cluster keys before dispatch) without consuming a
+    single draw from the original -- the task later replays the same values.
+    """
+    source = as_generator(rng)
+    clone = np.random.Generator(type(source.bit_generator)())
+    clone.bit_generator.state = source.bit_generator.state
+    return clone
+
+
+def generator_from_digest(digest: str) -> np.random.Generator:
+    """A generator seeded from a hex content digest.
+
+    Streams derived this way depend only on the digested content -- two
+    callers hashing the same value get identical streams no matter how many
+    draws either has consumed elsewhere. Domain adaptation keys its
+    retraining RNG this way so results cannot depend on cache warmth.
+    """
+    return np.random.default_rng(np.random.SeedSequence(int(digest, 16)))
+
+
 def spawn_generators(
     rng: "np.random.Generator | int | None", n: int
 ) -> Sequence[np.random.Generator]:

@@ -1,0 +1,221 @@
+"""The on-disk adaptation store: sharing, warmth-independence, crash safety.
+
+The store's one promise is that it changes wall-clock time and nothing
+else: a modeler backed by a warm store, a cold store, or no store at all
+produces bit-identical models and leaves the caller's RNG in the same
+position. The warm-up pre-pass must additionally survive a SIGKILL -- a
+rerun adapts only the missing clusters and still matches the uninterrupted
+weights exactly, because every cluster keeps its own key-derived stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dnn.adaptation_cache import AdaptationStore, resolve_store
+from repro.dnn.domain_adaptation import (
+    AdaptationTask,
+    adapt_network_for_key,
+)
+from repro.dnn.modeler import DNNModeler
+from repro.run.manifest import RunManifest, config_fingerprint
+from repro.testing import faults
+
+LAYOUT = ((4.0, 8.0, 16.0, 32.0, 64.0),)
+SPC = 5  # tiny synthetic sets keep retraining fast
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def _key(noise=(0.07, 0.12), repetitions=5):
+    task = AdaptationTask(
+        parameter_value_sets=LAYOUT, noise_range=noise, repetitions=repetitions
+    )
+    return task.key(0.05)
+
+
+def _store(tmp_path, **kwargs):
+    kwargs.setdefault("samples_per_class", SPC)
+    return AdaptationStore(tmp_path / "cache", resolution=0.05, **kwargs)
+
+
+class TestStoreRoundTrip:
+    def test_save_then_load_is_bit_identical(self, tmp_path, tiny_network):
+        store = _store(tmp_path)
+        key = _key()
+        adapted = adapt_network_for_key(tiny_network, key, samples_per_class=SPC)
+        store.save(tiny_network, key, adapted)
+        loaded = store.load(tiny_network, key)
+        assert loaded is not None
+        assert loaded.weights_digest() == adapted.weights_digest()
+
+    def test_missing_cluster_loads_none(self, tmp_path, tiny_network):
+        store = _store(tmp_path)
+        assert store.load(tiny_network, _key()) is None
+        assert (tiny_network, _key()) not in store
+
+    def test_path_is_content_addressed(self, tmp_path, tiny_network):
+        store = _store(tmp_path)
+        key = _key()
+        path = store.path(tiny_network, key)
+        assert key.fingerprint in path.name
+        assert tiny_network.weights_digest() in path.name
+        # Different hyperparameters address different files.
+        other = _store(tmp_path, epochs=2)
+        assert other.path(tiny_network, key) != path
+
+    def test_store_pickles_without_memo(self, tmp_path, tiny_network):
+        import pickle
+
+        store = _store(tmp_path)
+        store.path(tiny_network, _key())  # populate the digest memo
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.path(tiny_network, _key()) == store.path(tiny_network, _key())
+
+
+class TestWarmUp:
+    def test_warm_up_adapts_each_cluster_once(self, tmp_path, tiny_network):
+        store = _store(tmp_path)
+        keys = [_key(), _key(noise=(0.061, 0.149)), _key(repetitions=9)]
+        counts = store.warm_up(tiny_network, keys)
+        # The first two keys quantize onto one cluster.
+        assert counts == {"tasks": 3, "clusters": 2, "adapted": 2, "skipped": 0}
+
+    def test_second_warm_up_skips_stored_clusters(self, tmp_path, tiny_network):
+        store = _store(tmp_path)
+        keys = [_key(), _key(repetitions=9)]
+        store.warm_up(tiny_network, keys)
+        counts = store.warm_up(tiny_network, keys)
+        assert counts["adapted"] == 0
+        assert counts["skipped"] == 2
+
+    def test_warm_up_matches_unfused_reference(self, tmp_path, tiny_network):
+        """Fused warm-up weights == adapting every cluster separately."""
+        store = _store(tmp_path)
+        keys = [_key(), _key(repetitions=9), _key(noise=(0.3, 0.4))]
+        store.warm_up(tiny_network, keys)
+        for key in keys:
+            reference = adapt_network_for_key(
+                tiny_network, key, samples_per_class=SPC
+            )
+            stored = store.load(tiny_network, key)
+            assert stored.weights_digest() == reference.weights_digest()
+
+    def test_warm_up_records_manifest_artifacts(self, tmp_path, tiny_network):
+        run_dir = tmp_path / "run"
+        manifest = RunManifest.open(run_dir, config_fingerprint("adapt-test"))
+        store = AdaptationStore(
+            run_dir / "adaptation", resolution=0.05, samples_per_class=SPC
+        )
+        key = _key()
+        store.warm_up(tiny_network, [key], manifest=manifest)
+        artifacts = manifest.artifacts()
+        entry = artifacts[f"adaptation/{key.fingerprint}"]
+        assert (run_dir / entry["file"]).exists()
+
+    def test_warm_up_outside_manifest_dir_skips_artifacts(self, tmp_path, tiny_network):
+        manifest = RunManifest.open(tmp_path / "run", config_fingerprint("adapt-test"))
+        store = _store(tmp_path)  # not inside the run dir
+        store.warm_up(tiny_network, [_key()], manifest=manifest)
+        assert not any(name.startswith("adaptation/") for name in manifest.artifacts())
+
+
+class TestCrashSafety:
+    def test_killed_warm_up_resumes_bit_identically(self, tmp_path, tiny_network):
+        """Fault-injected crash between cluster saves, then rerun.
+
+        The rerun sees a smaller fused group (only the missing clusters),
+        which must still reproduce the uninterrupted run's weights exactly
+        -- per-cluster RNG streams are independent of group composition.
+        """
+        keys = [_key(), _key(repetitions=9), _key(noise=(0.3, 0.4))]
+        reference = _store(tmp_path / "ref")
+        reference.warm_up(tiny_network, keys)
+
+        store = _store(tmp_path)
+        faults.activate("adaptation.warmup:raise@2")
+        with pytest.raises(faults.InjectedFault):
+            store.warm_up(tiny_network, keys)
+        faults.deactivate()
+        stored = [k for k in keys if (tiny_network, k) in store]
+        assert 0 < len(stored) < len(keys), "the crash must land mid-warm-up"
+
+        counts = store.warm_up(tiny_network, keys)
+        assert counts["adapted"] == len(keys) - len(stored)
+        for key in keys:
+            assert (
+                store.load(tiny_network, key).weights_digest()
+                == reference.load(tiny_network, key).weights_digest()
+            )
+
+
+class TestModelerIntegration:
+    def _modeler(self, network, store=None):
+        return DNNModeler(
+            network=network,
+            use_domain_adaptation=True,
+            adaptation_samples_per_class=SPC,
+            adaptation_store=store,
+        )
+
+    def test_warm_store_vs_cold_store_vs_no_store(
+        self, tmp_path, tiny_network, clean_experiment_1p
+    ):
+        """The tentpole contract: results and caller-RNG position are
+        bit-identical however warm the store is."""
+        kernel = clean_experiment_1p.only_kernel()
+
+        def run(store):
+            modeler = self._modeler(tiny_network, store)
+            gen = np.random.default_rng(42)
+            result = modeler.model_kernel(kernel, 1, rng=gen)
+            return result, gen.random(4)
+
+        plain, plain_draws = run(None)
+        store = _store(tmp_path)
+        cold, cold_draws = run(store)
+        warm, warm_draws = run(store)  # second run loads from disk
+        assert plain.function.format() == cold.function.format() == warm.function.format()
+        assert plain.cv_smape == cold.cv_smape == warm.cv_smape
+        np.testing.assert_array_equal(plain_draws, cold_draws)
+        np.testing.assert_array_equal(plain_draws, warm_draws)
+
+    def test_store_hit_skips_retraining(self, tmp_path, tiny_network, clean_experiment_1p):
+        kernel = clean_experiment_1p.only_kernel()
+        store = _store(tmp_path)
+        task = AdaptationTask.from_kernel(kernel, 1)
+        first = self._modeler(tiny_network, store)
+        first.network_for_task(task)
+        key = first.adaptation_key(task)
+        assert (tiny_network, key) in store
+
+        second = self._modeler(tiny_network, store)
+        network = second.network_for_task(task)
+        assert network.weights_digest() == first.network_for_task(task).weights_digest()
+
+    def test_incompatible_store_is_ignored(self, tmp_path, tiny_network, clean_experiment_1p):
+        """A store trained with different hyperparameters must not serve
+        weights; the modeler silently re-adapts itself."""
+        kernel = clean_experiment_1p.only_kernel()
+        store = _store(tmp_path, epochs=3)  # modeler uses DEFAULT_EPOCHS=1
+        modeler = self._modeler(tiny_network, store)
+        task = AdaptationTask.from_kernel(kernel, 1)
+        modeler.network_for_task(task)
+        assert (tiny_network, modeler.adaptation_key(task)) not in store
+
+    def test_resolve_store_attaches_to_adapting_dnns(self, tmp_path, tiny_network):
+        adapting = self._modeler(tiny_network)
+        plain = DNNModeler(network=tiny_network, use_domain_adaptation=False)
+        store, dnns = resolve_store(tmp_path / "cache", [adapting, plain])
+        assert dnns == [adapting]
+        assert adapting.adaptation_store is store
+        assert store.samples_per_class == SPC
+
+    def test_resolve_store_without_adapting_dnns(self, tmp_path, tiny_network):
+        plain = DNNModeler(network=tiny_network, use_domain_adaptation=False)
+        store, dnns = resolve_store(tmp_path / "cache", [plain])
+        assert store is None and dnns == []

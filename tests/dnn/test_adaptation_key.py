@@ -1,0 +1,134 @@
+"""Quantized adaptation clustering: AdaptationKey semantics.
+
+The key is the identity of one shared retraining -- everything downstream
+(RNG stream, weight-store addressing, fused grouping) hangs off it, so its
+bucketing must be stable against float jitter and exactly-aligned bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dnn.domain_adaptation import (
+    DEFAULT_NOISE_RESOLUTION,
+    AdaptationKey,
+    AdaptationTask,
+    adaptation_generator,
+)
+
+LAYOUT = ((4.0, 8.0, 16.0, 32.0, 64.0),)
+
+
+def _task(noise=(0.07, 0.12), layout=LAYOUT, repetitions=5):
+    return AdaptationTask(
+        parameter_value_sets=layout, noise_range=noise, repetitions=repetitions
+    )
+
+
+class TestBucketing:
+    def test_jittered_bands_share_a_cluster(self):
+        """Estimation jitter inside one bucket must not split the cluster."""
+        a = _task(noise=(0.07, 0.12)).key(0.05)
+        b = _task(noise=(0.061, 0.149)).key(0.05)
+        assert a == b
+        assert a.noise_band == (0.05, 0.15)
+
+    def test_bands_widen_outward(self):
+        key = _task(noise=(0.07, 0.12)).key(0.05)
+        lo, hi = key.noise_band
+        assert lo <= 0.07 and hi >= 0.12
+
+    def test_exactly_aligned_bound_keeps_its_bucket(self):
+        """0.15 / 0.05 is 2.9999999999999996 in binary; a raw floor would
+        drop an aligned lower bound into the bucket below."""
+        key = _task(noise=(0.15, 0.2)).key(0.05)
+        assert key.noise_band == (0.15, 0.2)
+
+    def test_different_buckets_split_clusters(self):
+        a = _task(noise=(0.02, 0.04)).key(0.05)
+        b = _task(noise=(0.07, 0.12)).key(0.05)
+        assert a != b
+
+    def test_zero_resolution_is_exact(self):
+        a = _task(noise=(0.071, 0.12)).key(0.0)
+        b = _task(noise=(0.072, 0.12)).key(0.0)
+        assert a != b
+        assert a.noise_band == (0.071, 0.12)
+        assert a.resolution == 0.0
+
+    def test_negative_resolution_behaves_like_exact(self):
+        a = _task(noise=(0.071, 0.12)).key(-1.0)
+        assert a.noise_band == (0.071, 0.12)
+        assert a.resolution == 0.0
+
+    def test_layout_jitter_collapses_to_9_digits(self):
+        a = _task(layout=((4.0, 8.0, 16.000000000001),)).key(0.05)
+        b = _task(layout=((4.0, 8.0, 16.0),)).key(0.05)
+        assert a == b
+
+    def test_distinct_layouts_split_clusters(self):
+        a = _task(layout=((4.0, 8.0, 16.0),)).key(0.05)
+        b = _task(layout=((4.0, 8.0, 32.0),)).key(0.05)
+        assert a != b
+
+    def test_repetitions_split_clusters(self):
+        assert _task(repetitions=5).key(0.05) != _task(repetitions=10).key(0.05)
+
+    def test_default_resolution_used(self):
+        assert _task().key().resolution == DEFAULT_NOISE_RESOLUTION
+
+
+class TestFingerprint:
+    def test_stable_across_equal_keys(self):
+        assert _task().key(0.05).fingerprint == _task().key(0.05).fingerprint
+
+    def test_distinct_for_distinct_keys(self):
+        assert _task().key(0.05).fingerprint != _task(repetitions=7).key(0.05).fingerprint
+
+    def test_shape_is_16_hex_chars(self):
+        fingerprint = _task().key().fingerprint
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # must parse as hex
+
+    def test_resolution_is_part_of_identity(self):
+        """The same task at two resolutions addresses different weights."""
+        assert _task().key(0.05) != _task().key(0.1)
+        assert _task().key(0.05).fingerprint != _task().key(0.1).fingerprint
+
+
+class TestCanonicalTask:
+    def test_task_reconstructed_from_key_not_member(self):
+        """Two jittered members map to one canonical retraining task."""
+        a = _task(noise=(0.07, 0.12))
+        b = _task(noise=(0.061, 0.149))
+        assert a.key(0.05).task() == b.key(0.05).task()
+
+    def test_round_trip_preserves_content(self):
+        key = _task().key(0.05)
+        task = key.task()
+        assert task.parameter_value_sets == key.point_layout
+        assert task.noise_range == key.noise_band
+        assert task.repetitions == key.repetitions
+        assert task.key(key.resolution) == key
+
+
+class TestAdaptationGenerator:
+    def test_stream_depends_only_on_key(self):
+        a = adaptation_generator(_task().key(0.05))
+        b = adaptation_generator(_task(noise=(0.061, 0.149)).key(0.05))
+        np.testing.assert_array_equal(a.random(8), b.random(8))
+
+    def test_stream_differs_across_clusters(self):
+        a = adaptation_generator(_task().key(0.05))
+        b = adaptation_generator(_task(repetitions=9).key(0.05))
+        assert not np.array_equal(a.random(8), b.random(8))
+
+
+class TestFromKernel:
+    def test_kernel_key_round_trips_through_experiment(self, clean_experiment_1p):
+        kernel = clean_experiment_1p.only_kernel()
+        task = AdaptationTask.from_kernel(kernel, 1)
+        key = task.key()
+        assert isinstance(key, AdaptationKey)
+        assert key.n_params == 1
+        # Re-deriving from the same measurements clusters identically.
+        assert AdaptationTask.from_kernel(kernel, 1).key() == key

@@ -182,3 +182,100 @@ class TestModelExperiment:
         results = modeler.model_experiment(clean_experiment_1p, rng=0)
         assert set(results) == {"synthetic"}
         assert results["synthetic"].kernel == "synthetic"
+
+
+class TestClassifyBatchIterator:
+    def test_iterator_input_fully_consumed(self, modeler, clean_experiment_1p, noisy_experiment_1p):
+        """A generator argument must classify every kernel, not silently
+        yield an empty batch after the first internal pass exhausts it."""
+        kernels = [clean_experiment_1p.only_kernel(), noisy_experiment_1p.only_kernel()]
+        from_iterator = modeler.classify_batch(iter(kernels), 1)
+        from_list = modeler.classify_batch(kernels, 1)
+        assert len(from_iterator) == 2
+        assert from_iterator == from_list
+
+    def test_empty_iterator_yields_empty_batch(self, modeler):
+        assert modeler.classify_batch(iter([]), 1) == []
+
+
+class TestCacheStatsFallbackShape:
+    def test_plain_dict_cache_reports_full_shape(self, modeler):
+        """A plain dict swapped in for the LRU must still report the
+        hit/miss shape every consumer expects, not a bare size."""
+        modeler._adapted = {}
+        stats = modeler.cache_stats()["adaptation"]
+        assert set(stats) == {"hits", "misses", "evictions", "size"}
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+
+    def test_fallback_absorbs_into_metrics(self, modeler):
+        """The zero-filled shape must be digestible by absorb_cache_stats."""
+        from repro.obs.metrics import MetricsRegistry
+
+        modeler._adapted = {}
+        registry = MetricsRegistry()
+        registry.absorb_cache_stats(modeler.cache_stats(), prefix="dnn.cache")
+
+
+class TestAdaptProvenance:
+    def _adapting_modeler(self, tiny_network):
+        return DNNModeler(
+            network=tiny_network,
+            use_domain_adaptation=True,
+            adaptation_samples_per_class=5,
+        )
+
+    def test_adapt_stage_covered_by_named_total(self, tiny_network, clean_experiment_1p):
+        """'total' must cover every stage listed next to it -- including
+        'adapt' -- and equal the result's seconds."""
+        m = self._adapting_modeler(tiny_network)
+        result = m.model_kernel(clean_experiment_1p.only_kernel(), 1, rng=0)
+        stages = result.provenance.stage_seconds
+        assert "adapt" in stages and "total" in stages
+        assert stages["total"] == result.seconds
+        assert stages["total"] >= stages["adapt"]
+        named = sum(v for k, v in stages.items() if k != "total")
+        assert stages["total"] == pytest.approx(named, rel=0.25)
+
+    def test_injected_network_leaves_pipeline_stages_alone(self, modeler, clean_experiment_1p):
+        """Without adaptation the pipeline's stage dict passes through
+        unchanged (no 'adapt', no synthesized 'total')."""
+        result = modeler.model_kernel(
+            clean_experiment_1p.only_kernel(), 1, rng=0, network=modeler.generic_network
+        )
+        assert "adapt" not in result.provenance.stage_seconds
+
+
+class TestCacheWarmthBitIdentity:
+    def test_warm_cache_consumes_no_caller_randomness(self, tiny_network, clean_experiment_1p):
+        """The load-bearing fix: results and downstream RNG draws must be
+        bit-identical whether the adaptation cache hits or misses."""
+        kernel = clean_experiment_1p.only_kernel()
+
+        def run(modeler):
+            gen = np.random.default_rng(7)
+            result = modeler.model_kernel(kernel, 1, rng=gen)
+            return result, gen.random(4)
+
+        cold = DNNModeler(
+            network=tiny_network, use_domain_adaptation=True, adaptation_samples_per_class=5
+        )
+        cold_result, cold_draws = run(cold)
+        # Same modeler again: the adapted network is now memoized (warm).
+        assert cold.cache_stats()["adaptation"]["misses"] >= 1
+        warm_result, warm_draws = run(cold)
+        assert cold.cache_stats()["adaptation"]["hits"] >= 1
+        assert cold_result.function.format() == warm_result.function.format()
+        assert cold_result.cv_smape == warm_result.cv_smape
+        np.testing.assert_array_equal(cold_draws, warm_draws)
+
+    def test_network_for_task_ignores_caller_rng(self, tiny_network, clean_experiment_1p):
+        from repro.dnn.domain_adaptation import AdaptationTask
+
+        m = DNNModeler(
+            network=tiny_network, use_domain_adaptation=True, adaptation_samples_per_class=5
+        )
+        task = AdaptationTask.from_kernel(clean_experiment_1p.only_kernel(), 1)
+        gen = np.random.default_rng(3)
+        before = gen.bit_generator.state
+        m.network_for_task(task, rng=gen)
+        assert gen.bit_generator.state == before  # rng neither read nor advanced

@@ -26,6 +26,19 @@ class TestSweepConfig:
         with pytest.raises(ValueError):
             SweepConfig(**kwargs)
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            # one value set for a two-parameter sweep
+            {"n_params": 2, "parameter_value_sets": ((4.0, 8.0, 16.0, 32.0, 64.0),)},
+            # fewer values than points_per_parameter
+            {"n_params": 1, "parameter_value_sets": ((4.0, 8.0, 16.0),)},
+        ],
+    )
+    def test_invalid_fixed_layout(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepConfig(**kwargs)
+
 
 @pytest.fixture(scope="module")
 def small_sweep():
@@ -102,3 +115,43 @@ class TestRunSweep:
         config = SweepConfig(n_params=2, noise_levels=(0.1,), n_functions=3)
         result = run_sweep(config, {"regression": RegressionModeler()}, rng=0)
         assert result.cell(0.1, "regression").distances.shape == (3,)
+
+
+class TestFixedLayout:
+    LAYOUT = ((4.0, 8.0, 16.0, 32.0, 64.0),)
+
+    def test_fixed_layout_used_for_every_function(self):
+        from repro.evaluation.sweep import _synthesize_task
+
+        config = SweepConfig(
+            n_params=1, noise_levels=(0.1,), parameter_value_sets=self.LAYOUT
+        )
+        gen = np.random.default_rng(0)
+        for _ in range(3):
+            _, kernel, _, gen = _synthesize_task(0.1, gen, config)
+            values = sorted({m.coordinate[0] for m in kernel.measurements})
+            assert values == list(self.LAYOUT[0])
+
+    def test_random_layouts_differ_across_functions(self):
+        from repro.evaluation.sweep import _synthesize_task
+
+        config = SweepConfig(n_params=1, noise_levels=(0.1,))
+        gen = np.random.default_rng(0)
+        layouts = []
+        for _ in range(3):
+            _, kernel, _, gen = _synthesize_task(0.1, gen, config)
+            layouts.append(tuple(sorted({m.coordinate[0] for m in kernel.measurements})))
+        assert len(set(layouts)) > 1
+
+    def test_fixed_layout_sweep_deterministic(self):
+        config = SweepConfig(
+            n_params=1,
+            noise_levels=(0.2,),
+            n_functions=4,
+            parameter_value_sets=self.LAYOUT,
+        )
+        a = run_sweep(config, {"regression": RegressionModeler()}, rng=3)
+        b = run_sweep(config, {"regression": RegressionModeler()}, rng=3)
+        np.testing.assert_array_equal(
+            a.cell(0.2, "regression").distances, b.cell(0.2, "regression").distances
+        )

@@ -1,0 +1,183 @@
+"""Sweep-level adaptation sharing: bit-identity on, off, warm, cold, killed.
+
+The adaptation cache is a pure wall-clock optimization; these tests pin the
+acceptance criterion that sweep outputs are bit-identical with the cache
+enabled or disabled, across worker counts, and after resuming a warm-up
+that was SIGKILLed mid-stage.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.dnn.modeler import DNNModeler
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.run.manifest import RunManifest
+
+SEED = 123
+# Two well-separated noise levels -> two adaptation clusters at the default
+# 5% resolution, so a mid-warm-up kill leaves genuinely partial state.
+CONFIG = SweepConfig(n_params=1, noise_levels=(0.05, 0.3), n_functions=2, batch_size=1)
+SPC = 5
+
+
+def _modelers(tiny_network):
+    return {
+        "dnn": DNNModeler(
+            network=tiny_network,
+            use_domain_adaptation=True,
+            adaptation_samples_per_class=SPC,
+        )
+    }
+
+
+def _assert_identical(a, b):
+    """Bit-identical science outputs; wall-clock seconds are exempt."""
+    assert set(a.cells) == set(b.cells)
+    for key, cell_a in a.cells.items():
+        cell_b = b.cells[key]
+        np.testing.assert_array_equal(cell_a.distances, cell_b.distances)
+        np.testing.assert_array_equal(cell_a.errors, cell_b.errors)
+        assert cell_a.functions == cell_b.functions
+        assert cell_a.failures == cell_b.failures
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_network):
+    """The cache-less run every cached variant must reproduce exactly."""
+    return run_sweep(CONFIG, _modelers(tiny_network), rng=SEED)
+
+
+class TestCacheBitIdentity:
+    def test_cold_cache_matches_no_cache(self, tmp_path, tiny_network, reference):
+        result = run_sweep(
+            CONFIG,
+            _modelers(tiny_network),
+            rng=SEED,
+            adaptation_cache=tmp_path / "cache",
+        )
+        _assert_identical(result, reference)
+        assert list((tmp_path / "cache").glob("adapted-*.npz")), (
+            "the pre-pass must have populated the store"
+        )
+
+    def test_warm_cache_matches_no_cache(self, tmp_path, tiny_network, reference):
+        cache = tmp_path / "cache"
+        run_sweep(CONFIG, _modelers(tiny_network), rng=SEED, adaptation_cache=cache)
+        stored = sorted(p.name for p in cache.glob("adapted-*.npz"))
+        warm = run_sweep(CONFIG, _modelers(tiny_network), rng=SEED, adaptation_cache=cache)
+        _assert_identical(warm, reference)
+        # The warm run loaded, it did not re-adapt: same files, bit for bit.
+        assert sorted(p.name for p in cache.glob("adapted-*.npz")) == stored
+
+    def test_adapt_stage_recorded(self, tmp_path, tiny_network):
+        result = run_sweep(
+            CONFIG,
+            _modelers(tiny_network),
+            rng=SEED,
+            adaptation_cache=tmp_path / "cache",
+        )
+        assert "adapt" in result.stage_seconds
+        assert result.stage_seconds["adapt"] <= result.stage_seconds["total"]
+
+    def test_parallel_run_matches_serial(self, tmp_path, tiny_network, reference):
+        result = run_sweep(
+            CONFIG,
+            _modelers(tiny_network),
+            rng=SEED,
+            processes=2,
+            adaptation_cache=tmp_path / "cache",
+        )
+        _assert_identical(result, reference)
+
+    def test_cache_without_adapting_modeler_is_inert(self, tmp_path, tiny_network, reference):
+        modelers = {
+            "dnn": DNNModeler(network=tiny_network, use_domain_adaptation=False)
+        }
+        plain = run_sweep(CONFIG, modelers, rng=SEED)
+        cached = run_sweep(
+            CONFIG,
+            {"dnn": DNNModeler(network=tiny_network, use_domain_adaptation=False)},
+            rng=SEED,
+            adaptation_cache=tmp_path / "cache",
+        )
+        _assert_identical(cached, plain)
+        assert not (tmp_path / "cache").exists()
+
+
+_KILL_SCRIPT = """
+import sys
+from repro.dnn.config import NetworkConfig, PretrainConfig
+from repro.dnn.modeler import DNNModeler
+from repro.dnn.pretrained import pretrain_network
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.parallel.engine import EngineConfig
+
+network = pretrain_network(
+    PretrainConfig(
+        network=NetworkConfig(hidden_sizes=(24,), name="kill-test"),
+        samples_per_class=20,
+        epochs=1,
+        seed=7,
+    )
+)
+config = SweepConfig(n_params=1, noise_levels=(0.05, 0.3), n_functions=2, batch_size=1)
+result = run_sweep(
+    config,
+    {"dnn": DNNModeler(network=network, use_domain_adaptation=True,
+                       adaptation_samples_per_class=5)},
+    rng=123,
+    run_dir=sys.argv[1],
+    resume=len(sys.argv) > 3 and sys.argv[3] == "resume",
+    adaptation_cache=sys.argv[2],
+    engine=EngineConfig(processes=1),
+)
+for key in sorted(result.cells):
+    print(key, result.cells[key].functions)
+"""
+
+
+class TestSigkilledWarmUp:
+    @pytest.mark.slow
+    def test_killed_warm_up_resumes_bit_identically(self, tmp_path):
+        """ISSUE acceptance: SIGKILL lands mid-warm-up (after the first
+        cluster's save), and the resumed run -- which re-warms only the
+        missing clusters in a smaller fused group -- matches a run that was
+        never interrupted."""
+        src = Path(repro.__file__).resolve().parent.parent
+        env = {**os.environ, "PYTHONPATH": str(src), "REPRO_PROCS": "1"}
+        env.pop("REPRO_FAULTS", None)
+
+        def run(run_dir, cache, *extra, faults=None):
+            run_env = dict(env)
+            if faults:
+                run_env["REPRO_FAULTS"] = faults
+            return subprocess.run(
+                [sys.executable, "-c", _KILL_SCRIPT, str(run_dir), str(cache), *extra],
+                env=run_env,
+                capture_output=True,
+                timeout=600,
+            )
+
+        reference = run(tmp_path / "ref-run", tmp_path / "ref-cache")
+        assert reference.returncode == 0, reference.stderr.decode()
+
+        killed = run(
+            tmp_path / "run", tmp_path / "cache", faults="adaptation.warmup:kill@2"
+        )
+        assert killed.returncode == -9, (
+            f"expected death by SIGKILL, rc={killed.returncode}, "
+            f"stderr:\n{killed.stderr.decode()}"
+        )
+        stored = list((tmp_path / "cache").glob("adapted-*.npz"))
+        assert len(stored) == 1, "the kill must land between cluster saves"
+        assert RunManifest.load(tmp_path / "run").task_count() == 0
+
+        resumed = run(tmp_path / "run", tmp_path / "cache", "resume")
+        assert resumed.returncode == 0, resumed.stderr.decode()
+        assert resumed.stdout == reference.stdout

@@ -59,7 +59,7 @@ class TestSummarize:
 class TestRender:
     def test_text_includes_tables(self, trace_records):
         text = render_trace_text(summarize_trace(trace_records))
-        assert "Per-stage wall time" in text
+        assert "Per-stage time" in text
         assert "pipeline.model_kernel" in text
         assert "engine.completed" in text
 

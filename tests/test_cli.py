@@ -176,7 +176,7 @@ class TestTraceCommand:
         capsys.readouterr()
         assert main(["trace", str(tmp_path / "run")]) == 0
         out = capsys.readouterr().out
-        assert "Per-stage wall time" in out
+        assert "Per-stage time" in out
         assert "sweep.run" in out
 
     def test_trace_json_format_is_parseable(self, telemetry_env, tmp_path, capsys):
