@@ -169,14 +169,26 @@ class GPRModeler:
 
     method_name = "gpr"
 
-    def __init__(self, aggregation: str = "median", n_restarts: int = 4, rng=None):
+    def __init__(
+        self, aggregation: str = "median", n_restarts: int = 4, rng=None, prefilter=None
+    ):
+        from repro.modeling.prefilter import create_prefilter
+
         self.aggregation = aggregation
         self.n_restarts = n_restarts
         self._rng = rng
+        self.prefilter = create_prefilter(prefilter)
 
     def fit_kernel(self, kernel: Kernel) -> GaussianProcessRegressor:
         """Fit a GP to one kernel's aggregated measurements."""
-        points, values = value_table(kernel.measurements, self.aggregation)
+        if self.prefilter is None:
+            points, values = value_table(kernel.measurements, self.aggregation)
+        else:
+            from repro.modeling.prefilter import apply_prefilter
+
+            points, values, _ = apply_prefilter(
+                kernel.measurements, self.prefilter, self.aggregation
+            )
         gpr = GaussianProcessRegressor(n_restarts=self.n_restarts, rng=self._rng)
         return gpr.fit(points, values)
 

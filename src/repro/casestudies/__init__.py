@@ -14,9 +14,15 @@ from repro.casestudies.base import SimulatedKernel, SimulatedApplication
 from repro.casestudies.kripke import kripke
 from repro.casestudies.fastest import fastest
 from repro.casestudies.relearn import relearn
+from repro.casestudies.tainted import tainted
 from repro.casestudies.driver import CaseStudyResult, KernelOutcome, run_case_study
 
-ALL_STUDIES = {"kripke": kripke, "fastest": fastest, "relearn": relearn}
+ALL_STUDIES = {
+    "kripke": kripke,
+    "fastest": fastest,
+    "relearn": relearn,
+    "tainted": tainted,
+}
 
 __all__ = [
     "SimulatedKernel",
@@ -24,6 +30,7 @@ __all__ = [
     "kripke",
     "fastest",
     "relearn",
+    "tainted",
     "ALL_STUDIES",
     "CaseStudyResult",
     "KernelOutcome",

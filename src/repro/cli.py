@@ -155,6 +155,31 @@ def _progress_printer(label: str = "sweep"):
     return emit
 
 
+def _parse_noise_tokens(tokens) -> "tuple[str, tuple[float, ...]]":
+    """Split a ``--noise`` list into (noise-model spec, axis values).
+
+    Numeric tokens are axis values in percent (the historical uniform-noise
+    levels); at most one non-numeric token names the noise model, e.g.
+    ``--noise tainted(level=0.05) 0 10 30`` sweeps the contamination
+    probability over 0 %, 10 %, 30 %.
+    """
+    spec = None
+    levels: "list[float]" = []
+    for token in tokens:
+        try:
+            levels.append(float(token) / 100.0)
+        except (TypeError, ValueError):
+            if spec is not None:
+                raise SystemExit(
+                    f"--noise accepts at most one noise-model spec (got {spec!r} "
+                    f"and {token!r})"
+                )
+            spec = str(token)
+    if not levels:
+        raise SystemExit("--noise needs at least one numeric axis value")
+    return spec or "uniform", tuple(levels)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evaluation.figures import format_accuracy_table, format_power_table
     from repro.evaluation.sweep import SweepConfig, run_sweep
@@ -178,11 +203,23 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             args.adaptation_cache,
             resolution=args.adaptation_resolution / 100.0,
         )
+    noise_spec, noise_levels = _parse_noise_tokens(args.noise)
+    prefilter = getattr(args, "prefilter", None)
+    if prefilter is not None:
+        # Paired comparison: every modeler once as-is and once with the
+        # robust pre-filter injected (byte-identical campaigns either way).
+        from repro.modeling.registry import create_modeler
+
+        for label, spec in list(modelers.items()):
+            modelers[f"{label}+{prefilter}"] = create_modeler(
+                spec, prefilter=prefilter
+            )
     config = SweepConfig(
         n_params=args.params,
-        noise_levels=tuple(n / 100 for n in args.noise),
+        noise_levels=noise_levels,
         n_functions=args.functions,
         batch_size=args.batch,
+        noise=noise_spec,
     )
     engine = EngineConfig(
         processes=args.processes,
@@ -205,6 +242,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     print(format_accuracy_table(result, title=f"Model accuracy, m={args.params} (Fig. 3)"))
     print()
     print(format_power_table(result, title=f"Predictive power, m={args.params} (Fig. 3)"))
+    if prefilter is not None:
+        from repro.evaluation.degradation import DegradationReport
+
+        pairs = {
+            label: f"{label}+{prefilter}"
+            for label in modelers
+            if not label.endswith(f"+{prefilter}") and f"{label}+{prefilter}" in modelers
+        }
+        report = DegradationReport(sweep=result, pairs=pairs, prefilter=prefilter)
+        print()
+        print(report.format(title=f"Degradation under {noise_spec} (median SMAPE)"))
     stages = result.stage_seconds
     if stages:
         breakdown = ", ".join(
@@ -223,6 +271,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.experiment.io import save_json, save_text
     from repro.noise.injection import NoNoise, UniformNoise
+    from repro.noise.registry import create_noise
     from repro.pmnf.parser import parse_function
     from repro.synthesis.measurements import synthesize_experiment
 
@@ -232,7 +281,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     value_sets = [
         [float(v) for v in spec.split(",")] for spec in args.values
     ]
-    noise = UniformNoise(args.noise / 100.0) if args.noise > 0 else NoNoise()
+    try:
+        level = float(args.noise)
+    except (TypeError, ValueError):
+        noise = create_noise(str(args.noise))
+    else:
+        noise = UniformNoise(level / 100.0) if level > 0 else NoNoise()
     experiment = synthesize_experiment(
         function,
         value_sets,
@@ -249,7 +303,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     print(
         f"wrote {args.output}: {len(experiment.coordinates())} points x "
         f"{args.repetitions} repetitions of '{function.format(args.params)}' "
-        f"under {args.noise:g}% noise"
+        f"under {noise!r} noise"
     )
     return 0
 
@@ -350,8 +404,23 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     from repro.casestudies import ALL_STUDIES
     from repro.casestudies.driver import run_case_study
 
-    application = ALL_STUDIES[args.name]()
-    modelers = {"regression": "regression", "adaptive": "adaptive"}
+    if args.contamination is not None and args.name != "tainted":
+        raise SystemExit("--contamination only applies to the 'tainted' case study")
+    if args.name == "tainted":
+        contamination = 10.0 if args.contamination is None else args.contamination
+        application = ALL_STUDIES[args.name](contamination=contamination / 100.0)
+    else:
+        application = ALL_STUDIES[args.name]()
+    modelers: "dict[str, object]" = {"regression": "regression", "adaptive": "adaptive"}
+    if args.prefilter is not None:
+        from repro.modeling.registry import create_modeler
+        from repro.modeling.prefilter import validate_prefilter_spec
+
+        validate_prefilter_spec(args.prefilter)
+        for label, spec in list(modelers.items()):
+            modelers[f"{label}+{args.prefilter}"] = create_modeler(
+                spec, prefilter=args.prefilter
+            )
     adaptation_cache = None
     if args.adaptation_cache is not None:
         from repro.dnn.adaptation_cache import AdaptationStore
@@ -378,21 +447,29 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
             f"{stage} {seconds:.2f}s" for stage, seconds in result.stage_seconds.items()
         )
         print(f"stage wall-time: {breakdown}")
-    rows = [
-        [
+    headers = ["modeler", "median rel. error % (Fig. 4)", "time s (Fig. 6)", "slowdown"]
+    dropped = {
+        name: sum(
+            o.result.provenance.dropped_repetitions
+            for o in result.outcomes
+            if o.modeler == name and o.result.provenance is not None
+        )
+        for name in result.modeler_names()
+    }
+    if args.prefilter is not None:
+        headers.append("dropped reps")
+    rows = []
+    for name in result.modeler_names():
+        row = [
             name,
             f"{result.median_error(name):.2f}",
             f"{result.total_seconds[name]:.2f}",
             f"{result.slowdown(name):.1f}x",
         ]
-        for name in result.modeler_names()
-    ]
-    print(
-        render_table(
-            ["modeler", "median rel. error % (Fig. 4)", "time s (Fig. 6)", "slowdown"],
-            rows,
-        )
-    )
+        if args.prefilter is not None:
+            row.append(str(dropped[name]))
+        rows.append(row)
+    print(render_table(headers, rows))
     if result.trace_path:
         print(f"telemetry trace: {result.trace_path} (render with 'repro-model trace')")
     return 0
@@ -460,8 +537,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("evaluate", help="run the synthetic sweep (Fig. 3)")
     p_eval.add_argument("--params", type=int, default=1, choices=(1, 2, 3))
     p_eval.add_argument(
-        "--noise", type=float, nargs="+", default=[2, 5, 10, 20, 50, 75, 100],
-        help="noise levels in percent",
+        "--noise", nargs="+", default=[2, 5, 10, 20, 50, 75, 100],
+        help="axis values in percent, optionally preceded by a noise-model "
+        "spec (e.g. 'tainted(level=0.05)' 0 10 30 sweeps the contamination "
+        "probability; default model: uniform)",
+    )
+    p_eval.add_argument(
+        "--prefilter", default=None,
+        help="robust pre-filter spec (e.g. 'mad(k=3)'); adds a filtered "
+        "twin of every modeler for a paired degradation comparison",
     )
     p_eval.add_argument("--functions", type=int, default=100)
     p_eval.add_argument("--processes", type=int, default=None)
@@ -526,7 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=["4,8,16,32,64"],
         help="comma-separated value list per parameter",
     )
-    p_gen.add_argument("--noise", type=float, default=0.0, help="noise level in percent")
+    p_gen.add_argument(
+        "--noise", default="0",
+        help="noise level in percent, or a noise-model spec like "
+        "'tainted(level=0.05, p=0.2)'",
+    )
     p_gen.add_argument("--repetitions", type=int, default=5)
     p_gen.add_argument("--kernel", default="synthetic")
     p_gen.add_argument("--seed", type=int, default=0)
@@ -545,7 +633,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_thr.set_defaults(func=_cmd_thresholds)
 
     p_case = sub.add_parser("casestudy", help="run a simulated case study (Figs. 4-6)")
-    p_case.add_argument("name", choices=("kripke", "fastest", "relearn"))
+    p_case.add_argument("name", choices=("kripke", "fastest", "relearn", "tainted"))
+    p_case.add_argument(
+        "--contamination", type=float, default=None, metavar="PCT",
+        help="per-repetition taint probability in percent for the 'tainted' "
+        "study (default: 10)",
+    )
+    p_case.add_argument(
+        "--prefilter", default=None,
+        help="robust pre-filter spec (e.g. 'mad(k=3)'); adds a filtered "
+        "twin of every modeler and a dropped-repetitions column",
+    )
     p_case.add_argument("--processes", type=int, default=None)
     p_case.add_argument("--seed", type=int, default=0)
     p_case.add_argument(

@@ -83,6 +83,7 @@ class DNNModeler:
         engine: "str | bool | None" = None,
         adaptation_resolution: float = DEFAULT_NOISE_RESOLUTION,
         adaptation_store=None,
+        prefilter=None,
     ):
         if top_k < 1:
             raise ValueError("top_k must be positive")
@@ -115,7 +116,8 @@ class DNNModeler:
         #: forward pass skips the network entirely.
         self._candidate_cache = LRUCache(line_cache_size)
         self.pipeline = ModelingPipeline(
-            DNNTopKGenerator(self), aggregation=aggregation, engine=engine
+            DNNTopKGenerator(self), aggregation=aggregation, engine=engine,
+            prefilter=prefilter,
         )
 
     # ---------------------------------------------------------------- plumbing

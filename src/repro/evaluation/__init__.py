@@ -13,13 +13,23 @@ from repro.evaluation.accuracy import (
     lead_exponent_distance,
     bucket_fractions,
 )
-from repro.evaluation.predictive_power import relative_prediction_errors, median_errors
+from repro.evaluation.predictive_power import (
+    relative_prediction_errors,
+    median_errors,
+    prediction_smape,
+)
 from repro.evaluation.sweep import (
     SweepConfig,
     CellResult,
     SweepResult,
     run_sweep,
     default_eval_functions,
+)
+from repro.evaluation.degradation import (
+    DEFAULT_CONTAMINATION_LEVELS,
+    DegradationReport,
+    degradation_modelers,
+    run_degradation_sweep,
 )
 from repro.evaluation.figures import format_accuracy_table, format_power_table
 from repro.evaluation.statistics import (
@@ -39,6 +49,11 @@ __all__ = [
     "bucket_fractions",
     "relative_prediction_errors",
     "median_errors",
+    "prediction_smape",
+    "DEFAULT_CONTAMINATION_LEVELS",
+    "DegradationReport",
+    "degradation_modelers",
+    "run_degradation_sweep",
     "SweepConfig",
     "CellResult",
     "SweepResult",

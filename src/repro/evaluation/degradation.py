@@ -1,0 +1,131 @@
+"""Degradation sweeps: modeler resilience under tainted measurements.
+
+Runs one paired sweep over a contamination axis (e.g. the taint
+probability of ``tainted(level=0.05)``) with every modeler present twice
+-- once as configured and once with a robust pre-filter injected -- and
+reports, per axis value, how the median SMAPE of the selected models
+degrades with and without the filter, plus the dropped-repetition counts
+that show what the filter actually rejected. This is the evaluation layer
+of the tainted-measurement subsystem (Copik et al., "Extracting Clean
+Performance Models from Tainted Programs"); the comparison is paired
+because filtered and unfiltered modelers see byte-identical campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.evaluation.sweep import SweepConfig, SweepResult, run_sweep
+from repro.modeling.prefilter import validate_prefilter_spec
+from repro.modeling.registry import create_modeler
+from repro.util.tables import render_table
+
+#: Default contamination probabilities of a degradation sweep.
+DEFAULT_CONTAMINATION_LEVELS: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3)
+
+
+def degradation_modelers(
+    specs: "Sequence[str]", prefilter: str
+) -> "dict[str, object]":
+    """Each spec twice: as-is, and with ``prefilter`` injected.
+
+    The filtered variant is labelled ``<spec>+<prefilter>``, so a sweep
+    over the returned mapping directly yields the paired comparison.
+    Specs that already name a prefilter are left alone (their pair would
+    be identical).
+    """
+    validate_prefilter_spec(prefilter)
+    modelers: "dict[str, object]" = {}
+    for spec in specs:
+        spec = spec.strip()
+        modelers[spec] = spec
+        if "prefilter" not in spec:
+            modelers[f"{spec}+{prefilter}"] = create_modeler(spec, prefilter=prefilter)
+    return modelers
+
+
+@dataclass
+class DegradationReport:
+    """A degradation sweep plus the pairing of filtered/unfiltered labels."""
+
+    sweep: SweepResult
+    #: unfiltered label -> filtered label (absent for pre-paired specs).
+    pairs: "Mapping[str, str]"
+    prefilter: str
+
+    def comparison(self, level: float) -> "list[dict[str, object]]":
+        """Per-modeler comparison at one contamination level."""
+        rows = []
+        for base, filtered in self.pairs.items():
+            cell = self.sweep.cell(level, base)
+            fcell = self.sweep.cell(level, filtered)
+            rows.append(
+                {
+                    "modeler": base,
+                    "smape": cell.median_smape(),
+                    "smape_filtered": fcell.median_smape(),
+                    "dropped": fcell.dropped_total(),
+                    "failures": cell.failures,
+                    "failures_filtered": fcell.failures,
+                }
+            )
+        return rows
+
+    def format(self, title: str = "") -> str:
+        """The degradation table: median SMAPE with/without the pre-filter."""
+        headers = [
+            "contamination",
+            "modeler",
+            "SMAPE",
+            f"SMAPE+{self.prefilter}",
+            "delta",
+            "dropped reps",
+        ]
+        rows: "list[list[object]]" = []
+        for level in self.sweep.config.noise_levels:
+            for entry in self.comparison(level):
+                rows.append(
+                    [
+                        f"{level:g}",
+                        entry["modeler"],
+                        f"{entry['smape']:.2f}",
+                        f"{entry['smape_filtered']:.2f}",
+                        f"{entry['smape_filtered'] - entry['smape']:+.2f}",
+                        str(entry["dropped"]),
+                    ]
+                )
+        return render_table(headers, rows, title=title or "Tainted-measurement degradation")
+
+
+def run_degradation_sweep(
+    specs: "Sequence[str]",
+    prefilter: str = "mad(k=3.0)",
+    noise: str = "tainted(level=0.05)",
+    levels: "Sequence[float]" = DEFAULT_CONTAMINATION_LEVELS,
+    config: "SweepConfig | None" = None,
+    **sweep_kwargs,
+) -> DegradationReport:
+    """Run the paired with/without-prefilter sweep and report degradation.
+
+    ``specs`` are modeler spec strings (each is duplicated with
+    ``prefilter`` injected); ``noise`` is the contamination model whose
+    sweep axis takes the values in ``levels``. ``config`` overrides the
+    base sweep configuration (its ``noise``/``noise_levels`` are replaced
+    by the arguments here); remaining keyword arguments pass through to
+    :func:`repro.evaluation.sweep.run_sweep` (``rng``, ``engine``,
+    ``run_dir``, ...).
+    """
+    from dataclasses import replace
+
+    base = config if config is not None else SweepConfig()
+    sweep_config = replace(base, noise=noise, noise_levels=tuple(levels))
+    modelers = degradation_modelers(specs, prefilter)
+    pairs = {
+        base_label: f"{base_label}+{prefilter}"
+        for base_label in modelers
+        if not base_label.endswith(f"+{prefilter}")
+        and f"{base_label}+{prefilter}" in modelers
+    }
+    sweep = run_sweep(sweep_config, modelers, **sweep_kwargs)
+    return DegradationReport(sweep=sweep, pairs=pairs, prefilter=prefilter)

@@ -36,6 +36,40 @@ def relative_prediction_errors(
     return 100.0 * np.abs(predicted - reference) / np.abs(reference)
 
 
+def prediction_smape(
+    model: "PerformanceFunction | np.ndarray",
+    truth: "PerformanceFunction | Sequence[float]",
+    points: Sequence[Coordinate],
+) -> np.ndarray:
+    """SMAPE ``200 * |f̂(P) - f(P)| / (|f̂(P)| + |f(P)|)`` at each point.
+
+    The bounded companion of :func:`relative_prediction_errors` (range
+    ``[0, 200]``), used by the degradation sweeps: under contamination a
+    modeler can be wrong by orders of magnitude, and unbounded relative
+    errors let a single blow-up dominate any mean while SMAPE saturates --
+    the same reason the pipeline's model selection uses SMAPE. ``model``
+    may also be a ready vector of predictions (predictor-only baselines
+    such as GPR).
+    """
+    if not points:
+        raise ValueError("no evaluation points given")
+    pts = np.stack([p.as_array() for p in points])
+    if isinstance(model, PerformanceFunction):
+        predicted = np.atleast_1d(model.evaluate(pts))
+    else:
+        predicted = np.atleast_1d(np.asarray(model, dtype=float))
+    if isinstance(truth, PerformanceFunction):
+        reference = np.atleast_1d(truth.evaluate(pts))
+    else:
+        reference = np.asarray(truth, dtype=float)
+    if reference.shape != predicted.shape:
+        raise ValueError("one reference value per evaluation point is required")
+    denominator = np.abs(predicted) + np.abs(reference)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        smape = 200.0 * np.abs(predicted - reference) / denominator
+    return np.where(denominator > 0, smape, 0.0)
+
+
 def median_errors(error_matrix: np.ndarray) -> np.ndarray:
     """Median over functions of the per-point errors.
 

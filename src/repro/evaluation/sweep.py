@@ -24,10 +24,10 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.evaluation.accuracy import ACCURACY_BUCKETS, bucket_fractions, lead_exponent_distance
-from repro.evaluation.predictive_power import relative_prediction_errors
+from repro.evaluation.predictive_power import prediction_smape, relative_prediction_errors
 from repro.experiment.experiment import Kernel
 from repro.modeling.registry import create_modelers
-from repro.noise.injection import UniformNoise
+from repro.noise.registry import noise_axis, noise_for_level
 from repro.obs import recording, worker_recording
 from repro.obs.sink import TRACE_FILENAME, build_trace_records, write_trace
 from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
@@ -88,6 +88,12 @@ class SweepConfig:
     #: retrainings. ``None`` (the default) keeps the paper's randomized
     #: layouts.
     parameter_value_sets: "tuple[tuple[float, ...], ...] | None" = None
+    #: Noise-model spec (see :mod:`repro.noise.registry`); each value in
+    #: ``noise_levels`` binds to the model's sweep axis. The default
+    #: ``"uniform"`` reproduces the paper's sweep (levels are uniform-noise
+    #: levels); ``"tainted(level=0.05)"`` turns the axis into the
+    #: contamination probability of a degradation sweep.
+    noise: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.n_params < 1:
@@ -100,6 +106,7 @@ class SweepConfig:
             raise ValueError(f"unknown layout {self.layout!r} (grid/cross)")
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
+        noise_axis(self.noise)  # validates the spec and that it has an axis
         if self.parameter_value_sets is not None:
             if len(self.parameter_value_sets) != self.n_params:
                 raise ValueError(
@@ -128,6 +135,13 @@ class CellResult:
     #: serial/parallel/batched equivalence test compare model *selections*
     #: directly instead of only derived metrics.
     functions: "list[str] | None" = None
+    #: (n, n_eval_points) SMAPE of the selected models at the evaluation
+    #: points; NaN on failure. The bounded error used by the degradation
+    #: sweeps (a contaminated modeler can be wrong by orders of magnitude).
+    smape: "np.ndarray | None" = None
+    #: (n,) repetitions dropped by the robust pre-filter per function
+    #: (all-zero when no pre-filter ran) -- the taint bookkeeping.
+    dropped: "np.ndarray | None" = None
 
     def bucket_fractions(self, buckets: Sequence[float] = ACCURACY_BUCKETS) -> Mapping[float, float]:
         return bucket_fractions(self.distances, buckets)
@@ -135,6 +149,19 @@ class CellResult:
     def median_errors(self) -> np.ndarray:
         with np.errstate(all="ignore"):
             return np.nanmedian(self.errors, axis=0)
+
+    def median_smape(self) -> float:
+        """Median SMAPE over functions and evaluation points (NaN-failure-aware)."""
+        if self.smape is None:
+            raise ValueError("this cell carries no SMAPE data")
+        with np.errstate(all="ignore"):
+            return float(np.nanmedian(self.smape))
+
+    def dropped_total(self) -> int:
+        """Total repetitions the pre-filter rejected across all functions."""
+        if self.dropped is None:
+            return 0
+        return int(np.sum(self.dropped))
 
     def bucket_fraction_ci(
         self, bucket: float, confidence: float = 0.99, rng=0
@@ -194,8 +221,9 @@ class SweepResult:
 # ------------------------------------------------------------------- worker
 _WORKER_STATE: dict = {}
 
-#: Per-modeler outcome of one function: (distance, errors, seconds, model).
-TaskOutcome = "dict[str, tuple[float, np.ndarray, float, str]]"
+#: Per-modeler outcome of one function:
+#: (distance, errors, seconds, model, smape, dropped repetitions).
+TaskOutcome = "dict[str, tuple[float, np.ndarray, float, str, np.ndarray, int]]"
 
 
 def _init_worker(config: SweepConfig, modelers: Mapping[str, object]) -> None:
@@ -222,7 +250,7 @@ def _synthesize_task(noise: float, gen: np.random.Generator, config: SweepConfig
         coords = grid_coordinates(value_sets)
     kernel = Kernel("synthetic")
     for meas in synthesize_measurements(
-        truth, coords, UniformNoise(noise), config.repetitions, gen
+        truth, coords, noise_for_level(config.noise, noise), config.repetitions, gen
     ):
         kernel.add(meas)
     eval_pts = evaluation_points(value_sets, config.n_eval_points)
@@ -230,28 +258,71 @@ def _synthesize_task(noise: float, gen: np.random.Generator, config: SweepConfig
 
 
 def _model_task(truth, kernel, eval_pts, gen, config, modelers) -> TaskOutcome:
-    """Model one synthesized function with every modeler."""
+    """Model one synthesized function with every modeler.
+
+    Closed-form modelers run through ``model_kernel``; predictor-only
+    baselines (GPR's ``predict_at``) contribute prediction errors and
+    SMAPE but no lead-exponent distance (recorded as NaN -- model accuracy
+    is undefined for a black-box posterior, not failed).
+    """
     out: TaskOutcome = {}
     for name, modeler in modelers.items():
         try:
-            result = modeler.model_kernel(kernel, config.n_params, rng=gen)
-            distance = lead_exponent_distance(result.function, truth)
-            errors = relative_prediction_errors(result.function, truth, eval_pts)
-            out[name] = (distance, errors, result.seconds, result.function.format())
+            if hasattr(modeler, "model_kernel"):
+                result = modeler.model_kernel(kernel, config.n_params, rng=gen)
+                distance = lead_exponent_distance(result.function, truth)
+                errors = relative_prediction_errors(result.function, truth, eval_pts)
+                smape = prediction_smape(result.function, truth, eval_pts)
+                dropped = (
+                    result.provenance.dropped_repetitions
+                    if result.provenance is not None
+                    else 0
+                )
+                out[name] = (
+                    distance,
+                    errors,
+                    result.seconds,
+                    result.function.format(),
+                    smape,
+                    dropped,
+                )
+            else:
+                with Timer() as timer:
+                    predicted = modeler.predict_at(kernel, eval_pts)
+                reference = np.atleast_1d(truth.evaluate(
+                    np.stack([p.as_array() for p in eval_pts])
+                ))
+                errors = 100.0 * np.abs(predicted - reference) / np.abs(reference)
+                smape = prediction_smape(predicted, truth, eval_pts)
+                out[name] = (np.nan, errors, timer.elapsed, "<predictor>", smape, 0)
         # repro-lint: disable-next-line=EXC001 -- not swallowed: the failure is
         # recorded as a maximally-wrong outcome (inf distance, NaN errors) so it
         # degrades the modeler's score instead of silently shrinking the sample.
         except Exception:
             # A failed modeling attempt counts as maximally wrong rather than
             # silently shrinking the sample (no silent caps).
-            out[name] = (np.inf, np.full(config.n_eval_points, np.nan), 0.0, "")
+            out[name] = (
+                np.inf,
+                np.full(config.n_eval_points, np.nan),
+                0.0,
+                "",
+                np.full(config.n_eval_points, np.nan),
+                0,
+            )
     return out
 
 
 def _failure_outcome(config: SweepConfig, modelers: Mapping[str, object]) -> TaskOutcome:
     """The all-failed outcome assigned to tasks the engine marked failed."""
     return {
-        name: (np.inf, np.full(config.n_eval_points, np.nan), 0.0, "")
+        name: (
+            np.inf,
+            np.full(config.n_eval_points, np.nan),
+            0.0,
+            "",
+            np.full(config.n_eval_points, np.nan),
+            0,
+        )
         for name in modelers
     }
 
@@ -493,7 +564,9 @@ def run_sweep(
             distances = np.asarray([r[name][0] for r in block])
             errors = np.stack([r[name][1] for r in block])
             seconds = float(sum(r[name][2] for r in block))
-            failures = int(np.sum(~np.isfinite(distances)))
+            # inf marks failed attempts; NaN marks predictor-only modelers
+            # (no lead exponent to compare), which are not failures.
+            failures = int(np.sum(np.isinf(distances)))
             cells[(noise, name)] = CellResult(
                 noise=noise,
                 modeler=name,
@@ -502,6 +575,8 @@ def run_sweep(
                 seconds=seconds,
                 failures=failures,
                 functions=[r[name][3] for r in block],
+                smape=np.stack([r[name][4] for r in block]),
+                dropped=np.asarray([r[name][5] for r in block]),
             )
     result = SweepResult(
         config=config,

@@ -312,38 +312,45 @@ class NoExactFloatComparison(Rule):
 # -------------------------------------------------------------------- SPEC001
 @register_rule
 class ValidModelerSpecs(Rule):
-    """SPEC001: literal modeler specs must resolve against the registry.
+    """SPEC001: literal modeler and noise specs must resolve against their registry.
 
     Every string literal passed to ``create_modeler``/``create_modelers``
     (first positional argument; for ``create_modelers`` also the elements
     of a literal list/tuple and the values of a literal dict) is parsed and
     resolved at lint time via :func:`repro.modeling.registry.validate_spec`
     -- the same validation the runtime applies, so a typo in an example or
-    benchmark fails in CI instead of minutes into a sweep. Non-literal
+    benchmark fails in CI instead of minutes into a sweep. Literal noise
+    specs (``create_noise``/``validate_noise_spec``/``noise_for_level``/
+    ``noise_axis``) are checked the same way against
+    :func:`repro.noise.registry.validate_noise_spec`. Non-literal
     arguments are out of static reach and skipped; specs that are
     *deliberately* invalid (tests asserting the error message) carry
     suppressions saying so.
     """
 
     rule_id = "SPEC001"
-    summary = "modeler spec string does not resolve against the registry"
+    summary = "modeler or noise spec string does not resolve against the registry"
     interests = ("Call",)
+
+    _NOISE_CALLS = {"create_noise", "validate_noise_spec", "noise_for_level", "noise_axis"}
 
     def visit(self, node: ast.AST, ctx: LintContext) -> "Iterator[tuple[ast.AST, str]]":
         name = call_name(node)
         if name is None:
             return
         base = name.rsplit(".", 1)[-1]
-        if base == "create_modeler":
+        if base in ("create_modeler", "create_modelers"):
             specs = self._literal_specs(node.args[0]) if node.args else []
-        elif base == "create_modelers":
+            checker, kind = self._spec_error, "modeler"
+        elif base in self._NOISE_CALLS:
             specs = self._literal_specs(node.args[0]) if node.args else []
+            checker, kind = self._noise_spec_error, "noise"
         else:
             return
         for spec_node in specs:
-            error = self._spec_error(spec_node.value)
+            error = checker(spec_node.value)
             if error is not None:
-                yield spec_node, f"invalid modeler spec {spec_node.value!r}: {error}"
+                yield spec_node, f"invalid {kind} spec {spec_node.value!r}: {error}"
 
     @staticmethod
     def _literal_specs(arg: ast.expr) -> "list[ast.Constant]":
@@ -368,6 +375,16 @@ class ValidModelerSpecs(Rule):
 
         try:
             validate_spec(spec)
+        except ValueError as exc:
+            return str(exc)
+        return None
+
+    @staticmethod
+    def _noise_spec_error(spec: str) -> "str | None":
+        from repro.noise.registry import validate_noise_spec
+
+        try:
+            validate_noise_spec(spec)
         except ValueError as exc:
             return str(exc)
         return None

@@ -26,6 +26,18 @@ from repro.modeling.pipeline import (
     PipelineModeler,
     Provenance,
 )
+from repro.modeling.prefilter import (
+    MADOutlierRejection,
+    MedianOfRepetitions,
+    PrefilterReport,
+    RobustAggregator,
+    TrimmedMean,
+    apply_prefilter,
+    available_prefilters,
+    create_prefilter,
+    register_prefilter,
+    validate_prefilter_spec,
+)
 from repro.modeling.registry import (
     RegisteredModeler,
     available_modelers,
@@ -43,12 +55,22 @@ __all__ = [
     "DNNTopKGenerator",
     "FIT_ENGINES",
     "FullSearchGenerator",
+    "MADOutlierRejection",
+    "MedianOfRepetitions",
     "Modeler",
     "ModelResult",
     "ModelingPipeline",
     "PipelineModeler",
+    "PrefilterReport",
     "Provenance",
     "RegisteredModeler",
+    "RobustAggregator",
+    "TrimmedMean",
+    "apply_prefilter",
+    "available_prefilters",
+    "create_prefilter",
+    "register_prefilter",
+    "validate_prefilter_spec",
     "available_modelers",
     "create_modeler",
     "create_modelers",

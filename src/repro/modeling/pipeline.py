@@ -24,6 +24,7 @@ from typing import Protocol, runtime_checkable
 from repro.experiment.experiment import Experiment, Kernel
 from repro.experiment.measurement import value_table
 from repro.modeling.engine import resolve_fit_engine
+from repro.modeling.prefilter import apply_prefilter, create_prefilter
 from repro.obs import get_telemetry
 from repro.pmnf.function import PerformanceFunction
 from repro.regression.fast_multi import FastMultiParameterSearch
@@ -40,7 +41,11 @@ class Provenance:
     (``aggregate`` / ``generate`` / ``fit`` / ``select``, plus ``adapt`` for
     domain-adapting modelers); ``cache_hits`` counts candidate-cache hits
     during generation (non-zero when a batched classification pass primed
-    the DNN's cache).
+    the DNN's cache). ``prefilter`` names the robust pre-filter that ran
+    in the aggregate stage (empty when disabled) and
+    ``dropped_repetitions`` totals the repetitions it rejected across the
+    kernel's measurement points -- the taint bookkeeping of
+    :mod:`repro.modeling.prefilter`.
     """
 
     generator: str = ""
@@ -48,6 +53,8 @@ class Provenance:
     n_candidates: int = 0
     cache_hits: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    prefilter: str = ""
+    dropped_repetitions: int = 0
 
 
 @dataclass(frozen=True)
@@ -90,12 +97,25 @@ class ModelingPipeline:
     ``REPRO_FIT_ENGINE``). Both engines select the same models -- the fast
     path refits its winner through the reference solver, and the pinned
     equivalence tests hold the two bit-identical.
+
+    ``prefilter`` (a spec string like ``"mad(k=3)"``, a built
+    :class:`~repro.modeling.prefilter.RobustAggregator`, or ``None``)
+    replaces the plain aggregate stage with the robust pre-filter of
+    :mod:`repro.modeling.prefilter`; with ``None`` the historical
+    :func:`~repro.experiment.measurement.value_table` path runs unchanged.
     """
 
-    def __init__(self, generator, aggregation: str = "median", engine: "str | bool | None" = None):
+    def __init__(
+        self,
+        generator,
+        aggregation: str = "median",
+        engine: "str | bool | None" = None,
+        prefilter=None,
+    ):
         self.generator = generator
         self.aggregation = aggregation
         self.engine = resolve_fit_engine(engine)
+        self.prefilter = create_prefilter(prefilter)
         self._search = FastMultiParameterSearch()
 
     def model_kernel(
@@ -117,7 +137,14 @@ class ModelingPipeline:
             "pipeline.model_kernel", kernel=kernel.name, engine=self.engine
         ) as span:
             with stages.time("aggregate"):
-                points, values = value_table(kernel.measurements, self.aggregation)
+                if self.prefilter is None:
+                    points, values = value_table(kernel.measurements, self.aggregation)
+                    dropped = 0
+                else:
+                    points, values, report = apply_prefilter(
+                        kernel.measurements, self.prefilter, self.aggregation
+                    )
+                    dropped = report.dropped_total
             with stages.time("generate"):
                 candidates = self.generator.generate(
                     kernel, n_params, points, values, rng=rng, network=network
@@ -137,6 +164,8 @@ class ModelingPipeline:
                 cache_hits=candidates.cache_hits,
                 cv_smape=best.cv_smape,
             )
+            if self.prefilter is not None:
+                span.set(dropped_repetitions=dropped)
         if telemetry.enabled:
             telemetry.metrics.absorb_stage_seconds(stages.seconds, prefix="pipeline")
             telemetry.metrics.counter("pipeline.kernels").inc()
@@ -144,12 +173,18 @@ class ModelingPipeline:
                 len(candidates.hypotheses)
             )
             telemetry.metrics.counter("pipeline.cache_hits").inc(candidates.cache_hits)
+            if self.prefilter is not None:
+                # inc(0) still materializes the counter, so clean runs show
+                # an explicit zero next to the tainted runs' positive count.
+                telemetry.metrics.counter("pipeline.prefilter.dropped").inc(dropped)
         provenance = Provenance(
             generator=candidates.generator,
             engine=self.engine,
             n_candidates=len(candidates.hypotheses),
             cache_hits=candidates.cache_hits,
             stage_seconds=dict(stages.seconds),
+            prefilter=repr(self.prefilter) if self.prefilter is not None else "",
+            dropped_repetitions=dropped,
         )
         return ModelResult(
             function=best.function,
@@ -176,9 +211,12 @@ class PipelineModeler:
         method_name: str,
         aggregation: str = "median",
         engine: "str | bool | None" = None,
+        prefilter=None,
     ):
         self.method_name = method_name
-        self.pipeline = ModelingPipeline(generator, aggregation=aggregation, engine=engine)
+        self.pipeline = ModelingPipeline(
+            generator, aggregation=aggregation, engine=engine, prefilter=prefilter
+        )
 
     def model_kernel(
         self, kernel: Kernel, n_params: "int | None" = None, rng=None, network=None

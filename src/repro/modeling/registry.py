@@ -99,13 +99,26 @@ def parse_spec(spec: str) -> "tuple[str, dict[str, object]]":
                 f"modeler spec {spec!r} takes keyword arguments only (key=value)"
             )
         for kw in call.keywords:
-            kwargs[kw.arg] = _spec_value(kw.value, spec)
+            kwargs[kw.arg] = _spec_value(kw.value, spec, keyword=kw.arg)
     return name, kwargs
 
 
-def _spec_value(node: ast.expr, spec: str) -> object:
+#: Keywords whose value is itself a spec string for a sub-registry; only
+#: these accept call syntax inside a modeler spec.
+_NESTED_SPEC_KEYWORDS = frozenset({"prefilter"})
+
+
+def _spec_value(node: ast.expr, spec: str, keyword: "str | None" = None) -> object:
     if isinstance(node, ast.Name):  # bare word: aggregation=median, engine=fast
         return _BARE_WORDS.get(node.id.lower(), node.id)
+    if (
+        keyword in _NESTED_SPEC_KEYWORDS
+        and isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+    ):
+        # Nested spec, e.g. prefilter=mad(k=3): handed down as a spec string
+        # for the sub-registry (repro.modeling.prefilter) to resolve.
+        return ast.unparse(node)
     try:
         return ast.literal_eval(node)
     except (ValueError, SyntaxError):
@@ -160,6 +173,11 @@ def validate_spec(spec: str, **overrides) -> "tuple[RegisteredModeler, dict[str,
                 f"unknown keyword(s) {', '.join(unknown)} for modeler {name!r}: "
                 f"accepted keywords are {', '.join(parameters) or '(none)'}"
             )
+    if isinstance(kwargs.get("prefilter"), str):
+        # Nested prefilter specs fail at lint/validate time, not mid-sweep.
+        from repro.modeling.prefilter import validate_prefilter_spec
+
+        validate_prefilter_spec(kwargs["prefilter"])
     return entry, kwargs
 
 
@@ -204,10 +222,12 @@ def _ensure_builtins() -> None:
         return
     _BUILTINS_READY = True
 
-    def regression(aggregation: str = "median", engine=None):
+    def regression(aggregation: str = "median", engine=None, prefilter=None):
         from repro.regression.modeler import RegressionModeler
 
-        return RegressionModeler(aggregation=aggregation, engine=engine)
+        return RegressionModeler(
+            aggregation=aggregation, engine=engine, prefilter=prefilter
+        )
 
     def dnn(
         top_k: int = 3,
@@ -217,6 +237,7 @@ def _ensure_builtins() -> None:
         aggregation: str = "median",
         engine=None,
         network=None,
+        prefilter=None,
     ):
         from repro.dnn.modeler import DNNModeler
 
@@ -226,6 +247,7 @@ def _ensure_builtins() -> None:
             use_domain_adaptation=use_domain_adaptation,
             aggregation=aggregation,
             engine=engine,
+            prefilter=prefilter,
         )
         if adaptation_epochs is not None:
             kwargs["adaptation_epochs"] = adaptation_epochs
@@ -242,11 +264,14 @@ def _ensure_builtins() -> None:
         aggregation: str = "median",
         engine=None,
         network=None,
+        prefilter=None,
     ):
         from repro.adaptive.modeler import AdaptiveModeler
 
         return AdaptiveModeler(
-            regression=regression(aggregation=aggregation, engine=engine),
+            regression=regression(
+                aggregation=aggregation, engine=engine, prefilter=prefilter
+            ),
             dnn=dnn(
                 top_k=top_k,
                 use_domain_adaptation=use_domain_adaptation,
@@ -255,14 +280,17 @@ def _ensure_builtins() -> None:
                 aggregation=aggregation,
                 engine=engine,
                 network=network,
+                prefilter=prefilter,
             ),
             thresholds=thresholds,
         )
 
-    def gpr(aggregation: str = "median", n_restarts: int = 4, rng=None):
+    def gpr(aggregation: str = "median", n_restarts: int = 4, rng=None, prefilter=None):
         from repro.baselines.gpr import GPRModeler
 
-        return GPRModeler(aggregation=aggregation, n_restarts=n_restarts, rng=rng)
+        return GPRModeler(
+            aggregation=aggregation, n_restarts=n_restarts, rng=rng, prefilter=prefilter
+        )
 
     def fused(
         top_k: int = 3,
@@ -270,6 +298,7 @@ def _ensure_builtins() -> None:
         aggregation: str = "median",
         engine=None,
         network=None,
+        prefilter=None,
     ):
         from repro.modeling.candidates import (
             AdaptiveGenerator,
@@ -292,7 +321,11 @@ def _ensure_builtins() -> None:
             thresholds=thresholds,
         )
         return PipelineModeler(
-            generator, method_name="fused", aggregation=aggregation, engine=engine
+            generator,
+            method_name="fused",
+            aggregation=aggregation,
+            engine=engine,
+            prefilter=prefilter,
         )
 
     register_modeler(

@@ -18,6 +18,19 @@ from repro.noise.injection import (
     GammaLevelNoise,
     LognormalSpikeNoise,
     SystematicErrorNoise,
+    TaintedRepetitionNoise,
+    HeteroscedasticNoise,
+    DriftNoise,
+)
+from repro.noise.registry import (
+    RegisteredNoise,
+    available_noise_models,
+    create_noise,
+    noise_axis,
+    noise_for_level,
+    parse_noise_spec,
+    register_noise,
+    validate_noise_spec,
 )
 from repro.noise.estimation import (
     DEFAULT_BIAS_SEED,
@@ -39,6 +52,17 @@ __all__ = [
     "GammaLevelNoise",
     "LognormalSpikeNoise",
     "SystematicErrorNoise",
+    "TaintedRepetitionNoise",
+    "HeteroscedasticNoise",
+    "DriftNoise",
+    "RegisteredNoise",
+    "available_noise_models",
+    "create_noise",
+    "noise_axis",
+    "noise_for_level",
+    "parse_noise_spec",
+    "register_noise",
+    "validate_noise_spec",
     "DEFAULT_BIAS_SEED",
     "estimate_noise_level",
     "estimate_noise_level_corrected",

@@ -51,6 +51,9 @@ def pooled_relative_deviations(
 
 def estimate_noise_level(
     source: "Experiment | Kernel | Iterable[Measurement]",
+    *,
+    robust: bool = False,
+    taint_factor: float = 3.0,
 ) -> float:
     """Estimate the noise level via ``rrd(D_V) = max(D_V) - min(D_V)``.
 
@@ -59,6 +62,15 @@ def estimate_noise_level(
     repeated measurements estimates to zero noise -- a degenerate case that
     says nothing about the true noise level, so it is flagged with a
     :class:`RuntimeWarning` rather than silently reported as noise-free.
+
+    ``robust=True`` switches to a median/MAD estimate: ``4 * MAD(D_V)``,
+    which is exact for uniform noise (the MAD of ``U(-n/2, +n/2)`` is
+    ``n/4``) but, unlike the range, is insensitive to a minority of tainted
+    repetitions. In robust mode both estimates are computed, and if the
+    classic pooled range exceeds the robust estimate by more than
+    ``taint_factor`` a :class:`RuntimeWarning` flags likely contamination
+    -- a cheap taint detector: gross outliers stretch the range but barely
+    move the MAD. Pass ``taint_factor=None`` to disable the check.
     """
     measurements = _measurement_list(source)
     if measurements and all(m.repetitions == 1 for m in measurements):
@@ -71,7 +83,23 @@ def estimate_noise_level(
         )
         return 0.0
     deviations = pooled_relative_deviations(measurements)
-    return float(np.max(deviations) - np.min(deviations))
+    classic = float(np.max(deviations) - np.min(deviations))
+    if not robust:
+        return classic
+    median = float(np.median(deviations))
+    mad = float(np.median(np.abs(deviations - median)))
+    robust_estimate = 4.0 * mad
+    if taint_factor is not None and classic > taint_factor * max(robust_estimate, 1e-12):
+        warnings.warn(
+            f"classic pooled noise estimate ({classic * 100:.2f}%) exceeds "
+            f"the robust median/MAD estimate ({robust_estimate * 100:.2f}%) "
+            f"by more than {taint_factor}x -- the measurements likely "
+            "contain tainted repetitions; consider a robust pre-filter "
+            "(repro.modeling.prefilter)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return robust_estimate
 
 
 def noise_levels_per_point(

@@ -56,7 +56,9 @@ class UniformNoise(NoiseModel):
         return self.level
 
     def __repr__(self) -> str:
-        return f"UniformNoise({self.level!r})"
+        # All noise reprs use keyword form: each doubles as a valid noise
+        # spec (see :mod:`repro.noise.registry`) besides eval-able Python.
+        return f"UniformNoise(level={self.level!r})"
 
 
 class GaussianNoise(NoiseModel):
@@ -79,7 +81,7 @@ class GaussianNoise(NoiseModel):
         return self.level
 
     def __repr__(self) -> str:
-        return f"GaussianNoise({self.level!r})"
+        return f"GaussianNoise(level={self.level!r})"
 
 
 class UniformLevelRangeNoise(NoiseModel):
@@ -105,7 +107,7 @@ class UniformLevelRangeNoise(NoiseModel):
         return (self.lo + self.hi) / 2.0
 
     def __repr__(self) -> str:
-        return f"UniformLevelRangeNoise({self.lo!r}, {self.hi!r})"
+        return f"UniformLevelRangeNoise(lo={self.lo!r}, hi={self.hi!r})"
 
 
 class GammaLevelNoise(NoiseModel):
@@ -136,7 +138,10 @@ class GammaLevelNoise(NoiseModel):
         return float(np.clip(self.shape * self.scale, self.lo, self.hi))
 
     def __repr__(self) -> str:
-        return f"GammaLevelNoise({self.shape!r}, {self.scale!r}, {self.lo!r}, {self.hi!r})"
+        return (
+            f"GammaLevelNoise(shape={self.shape!r}, scale={self.scale!r}, "
+            f"lo={self.lo!r}, hi={self.hi!r})"
+        )
 
 
 class LognormalSpikeNoise(NoiseModel):
@@ -165,9 +170,12 @@ class LognormalSpikeNoise(NoiseModel):
         return self.base.level
 
     def __repr__(self) -> str:
+        # Keyword form so the repr is a valid noise spec (see
+        # :mod:`repro.noise.registry`) as well as eval-able Python.
         return (
-            f"LognormalSpikeNoise({self.base.level!r}, "
-            f"{self.spike_probability!r}, {self.spike_scale!r})"
+            f"LognormalSpikeNoise(level={self.base.level!r}, "
+            f"spike_probability={self.spike_probability!r}, "
+            f"spike_scale={self.spike_scale!r})"
         )
 
 
@@ -206,4 +214,158 @@ class SystematicErrorNoise(NoiseModel):
         return self.inner.nominal_level()
 
     def __repr__(self) -> str:
-        return f"SystematicErrorNoise({self.inner!r}, {self.scale!r}, {self.slowdown_only!r})"
+        # Keyword form so the repr is a valid noise spec (see
+        # :mod:`repro.noise.registry`) as well as eval-able Python.
+        return (
+            f"SystematicErrorNoise(inner={self.inner!r}, scale={self.scale!r}, "
+            f"slowdown_only={self.slowdown_only!r})"
+        )
+
+
+class TaintedRepetitionNoise(NoiseModel):
+    """Copik-style contamination: repetitions are independently *tainted*.
+
+    Every repetition first receives the uniform base noise, then with
+    probability ``p`` it is replaced by an outlier draw: the true value
+    multiplied by ``exp(|N(outlier_location, outlier_scale)|)`` (a gross
+    slowdown, e.g. a co-running job or an OS hiccup). With
+    ``slowdown_only=False`` the sign of the normal draw is kept, so taint
+    can also make runs look impossibly fast (clock skew, dropped timers).
+
+    This is the contamination model of Copik et al., "Extracting Clean
+    Performance Models from Tainted Programs": a fraction of repetitions
+    carries no information about the true runtime, and any non-robust
+    aggregate (the mean in particular) is pulled arbitrarily far away.
+    """
+
+    def __init__(
+        self,
+        level: float,
+        p: float = 0.1,
+        outlier_location: float = 1.0,
+        outlier_scale: float = 1.0,
+        slowdown_only: bool = True,
+    ):
+        self.base = UniformNoise(level)
+        self.p = require_in_range("p", p, 0.0, 1.0)
+        self.outlier_location = require_in_range("outlier_location", outlier_location, 0.0, 10.0)
+        self.outlier_scale = require_in_range("outlier_scale", outlier_scale, 0.0, 10.0)
+        self.slowdown_only = bool(slowdown_only)
+
+    def apply_with_mask(
+        self, values: np.ndarray, rng=None
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Like :meth:`apply` but also return the boolean taint mask.
+
+        Consumes the RNG in exactly the same order as :meth:`apply`, so
+        ``apply_with_mask(v, seed)[0]`` is bit-identical to
+        ``apply(v, seed)``. Tests use the mask to check that the MAD
+        pre-filter drops precisely the tainted repetitions.
+        """
+        gen = as_generator(rng)
+        true = np.asarray(values, dtype=float)
+        noisy = self.base.apply(true, gen)
+        tainted = gen.random(true.shape) < self.p
+        draws = gen.normal(self.outlier_location, self.outlier_scale, size=true.shape)
+        if self.slowdown_only:
+            draws = np.abs(draws)
+        outliers = true * np.exp(draws)
+        return np.where(tainted, outliers, noisy), tainted
+
+    def apply(self, values: np.ndarray, rng=None) -> np.ndarray:
+        return self.apply_with_mask(values, rng)[0]
+
+    def nominal_level(self) -> float:
+        return self.base.level
+
+    def __repr__(self) -> str:
+        return (
+            f"TaintedRepetitionNoise(level={self.base.level!r}, p={self.p!r}, "
+            f"outlier_location={self.outlier_location!r}, "
+            f"outlier_scale={self.outlier_scale!r}, "
+            f"slowdown_only={self.slowdown_only!r})"
+        )
+
+
+class HeteroscedasticNoise(NoiseModel):
+    """Uniform noise whose level varies deterministically per element.
+
+    ``mode="value"`` scales the level with the true runtime: level ``lo``
+    for tiny runs saturating towards ``hi`` as the value grows past
+    ``pivot`` (``level = lo + (hi - lo) * v / (v + pivot)``) -- long runs
+    accumulate more interference. ``mode="index"`` ramps the level
+    linearly over the element index instead, modelling a measurement
+    session that degrades over time.
+
+    The per-element level is a deterministic function of the inputs, so
+    unlike :class:`GammaLevelNoise` no extra RNG draws are spent on it.
+    """
+
+    def __init__(self, lo: float, hi: float, mode: str = "value", pivot: float = 100.0):
+        self.lo = require_in_range("lo", lo, 0.0, 10.0)
+        self.hi = require_in_range("hi", hi, 0.0, 10.0)
+        if hi < lo:
+            raise ValueError(f"empty level range [{lo}, {hi}]")
+        if mode not in ("value", "index"):
+            raise ValueError(f"unknown heteroscedastic mode {mode!r}")
+        self.mode = mode
+        if pivot <= 0:
+            raise ValueError("pivot must be positive")
+        self.pivot = float(pivot)
+
+    def _levels(self, values: np.ndarray) -> np.ndarray:
+        if self.mode == "value":
+            v = np.abs(values)
+            return self.lo + (self.hi - self.lo) * v / (v + self.pivot)
+        n = values.size
+        ramp = np.linspace(0.0, 1.0, n) if n > 1 else np.zeros(n)
+        return (self.lo + (self.hi - self.lo) * ramp).reshape(values.shape)
+
+    def apply(self, values: np.ndarray, rng=None) -> np.ndarray:
+        gen = as_generator(rng)
+        values = np.asarray(values, dtype=float)
+        half = self._levels(values) / 2.0
+        return values * (1.0 + gen.uniform(-1.0, 1.0, size=values.shape) * half)
+
+    def nominal_level(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def __repr__(self) -> str:
+        return (
+            f"HeteroscedasticNoise(lo={self.lo!r}, hi={self.hi!r}, "
+            f"mode={self.mode!r}, pivot={self.pivot!r})"
+        )
+
+
+class DriftNoise(NoiseModel):
+    """Uniform base noise plus a slow multiplicative drift across repetitions.
+
+    One slope is drawn per call from ``U(-drift, +drift)``; element ``j``
+    of ``n`` is then multiplied by ``1 + slope * (j / (n - 1) - 0.5)``, a
+    linear ramp centred on the call. Since one ``apply`` call covers the
+    repetitions of a single measurement point (see
+    ``synthesis.measurements``), this models interference that builds up
+    or fades while one configuration is being repeated -- e.g. a
+    co-running job spinning up. The repetitions stop being exchangeable,
+    which violates the i.i.d. assumption behind pooled noise estimates.
+    """
+
+    def __init__(self, level: float, drift: float = 0.2):
+        self.base = UniformNoise(level)
+        self.drift = require_in_range("drift", drift, 0.0, 2.0)
+
+    def apply(self, values: np.ndarray, rng=None) -> np.ndarray:
+        gen = as_generator(rng)
+        values = self.base.apply(values, gen)
+        slope = gen.uniform(-self.drift, self.drift)
+        n = values.size
+        if n <= 1:
+            return values
+        ramp = (np.arange(n) / (n - 1) - 0.5).reshape(values.shape)
+        return values * (1.0 + slope * ramp)
+
+    def nominal_level(self) -> float:
+        return self.base.level
+
+    def __repr__(self) -> str:
+        return f"DriftNoise(level={self.base.level!r}, drift={self.drift!r})"

@@ -29,6 +29,7 @@ class RegressionModeler:
         multi: "MultiParameterModeler | None" = None,
         aggregation: str = "median",
         engine: "str | bool | None" = None,
+        prefilter=None,
     ):
         # Imported here, not at module level: candidates.py imports the
         # regression package, whose __init__ re-exports this module.
@@ -41,6 +42,7 @@ class RegressionModeler:
             FullSearchGenerator(self.multi),
             aggregation=self.multi.aggregation,
             engine=engine,
+            prefilter=prefilter,
         )
 
     def model_kernel(

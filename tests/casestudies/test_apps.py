@@ -5,7 +5,7 @@ distributions (Fig. 5)."""
 import numpy as np
 import pytest
 
-from repro.casestudies import fastest, kripke, relearn
+from repro.casestudies import ALL_STUDIES, fastest, kripke, relearn, tainted
 from repro.experiment.measurement import Coordinate
 from repro.noise.estimation import summarize_noise
 
@@ -122,3 +122,40 @@ class TestRelearn:
         app, campaign = relearn_campaign
         summary = summarize_noise(app.modeling_experiment(campaign))
         assert summary.mean < 0.02
+
+
+class TestTainted:
+    def test_registered_in_all_studies(self):
+        assert ALL_STUDIES["tainted"] is tainted
+
+    def test_name_records_contamination(self):
+        assert tainted(contamination=0.2).name == "tainted(p=0.2)"
+
+    def test_campaign_dimensions(self):
+        app = tainted(contamination=0.1)
+        campaign = app.run_campaign(rng=0)
+        assert app.parameters == ("p", "n")
+        assert len(campaign.coordinates()) == 30  # 6 x 5 grid
+        assert app.repetitions == 5
+        assert len(app.kernels) == 3
+
+    def test_modeling_excludes_largest_process_count(self):
+        app = tainted()
+        campaign = app.run_campaign(rng=0)
+        coords = app.modeling_experiment(campaign).coordinates()
+        assert len(coords) == 25
+        assert all(c[0] != 16384.0 for c in coords)
+
+    def test_zero_contamination_is_calm(self):
+        app = tainted(contamination=0.0)
+        summary = summarize_noise(app.modeling_experiment(app.run_campaign(rng=0)))
+        assert summary.maximum <= 0.05 + 1e-9  # pure 5 % uniform base noise
+
+    def test_contamination_inflates_noise(self):
+        app = tainted(contamination=0.3)
+        summary = summarize_noise(app.modeling_experiment(app.run_campaign(rng=0)))
+        assert summary.maximum > 0.5  # ~e-fold outliers dominate the rrd
+
+    def test_contamination_bounds_checked(self):
+        with pytest.raises(ValueError, match="contamination"):
+            tainted(contamination=1.5)

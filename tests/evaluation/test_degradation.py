@@ -1,0 +1,100 @@
+"""Degradation sweeps: paired with/without-prefilter resilience reporting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.degradation import (
+    DEFAULT_CONTAMINATION_LEVELS,
+    DegradationReport,
+    degradation_modelers,
+    run_degradation_sweep,
+)
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.modeling.prefilter import MADOutlierRejection
+
+
+class TestDegradationModelers:
+    def test_each_spec_paired_with_filtered_twin(self):
+        modelers = degradation_modelers(["regression"], "mad(k=3.0)")
+        assert set(modelers) == {"regression", "regression+mad(k=3.0)"}
+        assert modelers["regression"] == "regression"
+        twin = modelers["regression+mad(k=3.0)"]
+        assert isinstance(twin.pipeline.prefilter, MADOutlierRejection)
+
+    def test_pre_filtered_spec_left_alone(self):
+        modelers = degradation_modelers(
+            ["regression(prefilter=mad(k=3))"], "mad(k=3.0)"
+        )
+        assert list(modelers) == ["regression(prefilter=mad(k=3))"]
+
+    def test_bad_prefilter_rejected_up_front(self):
+        with pytest.raises(ValueError, match="registered prefilters"):
+            degradation_modelers(["regression"], "winsorize(k=3)")
+
+
+@pytest.fixture(scope="module")
+def small_degradation():
+    """A tiny but real degradation sweep: regression under contamination
+    0 and 0.3, paired with the MAD filter."""
+    return run_degradation_sweep(
+        ["regression"],
+        prefilter="mad(k=3.0)",
+        noise="tainted(level=0.05)",
+        levels=(0.0, 0.3),
+        config=SweepConfig(n_params=1, n_functions=6, batch_size=3),
+        rng=0,
+    )
+
+
+class TestRunDegradationSweep:
+    def test_sweep_axis_is_contamination(self, small_degradation):
+        assert small_degradation.sweep.config.noise == "tainted(level=0.05)"
+        assert small_degradation.sweep.config.noise_levels == (0.0, 0.3)
+
+    def test_pairs_map_base_to_filtered(self, small_degradation):
+        assert small_degradation.pairs == {"regression": "regression+mad(k=3.0)"}
+
+    def test_comparison_rows(self, small_degradation):
+        (row,) = small_degradation.comparison(0.3)
+        assert row["modeler"] == "regression"
+        assert np.isfinite(row["smape"]) and np.isfinite(row["smape_filtered"])
+        assert row["dropped"] > 0  # the filter visibly rejected taint
+
+    def test_filter_reduces_error_under_contamination(self, small_degradation):
+        """The acceptance property at test scale: under 30 % contamination
+        the MAD-filtered modeler has a lower median SMAPE."""
+        (row,) = small_degradation.comparison(0.3)
+        assert row["smape_filtered"] < row["smape"]
+
+    def test_format_renders_table(self, small_degradation):
+        table = small_degradation.format()
+        assert "contamination" in table
+        assert "SMAPE+mad(k=3.0)" in table
+        assert "dropped reps" in table
+
+    def test_default_levels(self):
+        assert DEFAULT_CONTAMINATION_LEVELS[0] == 0.0
+        assert DEFAULT_CONTAMINATION_LEVELS[-1] == 0.3
+
+
+class TestSweepCellFields:
+    def test_cells_carry_smape_and_dropped(self, small_degradation):
+        cell = small_degradation.sweep.cell(0.3, "regression+mad(k=3.0)")
+        assert cell.smape.shape == cell.errors.shape
+        assert cell.dropped.shape == (cell.smape.shape[0],)
+        assert cell.dropped_total() == int(np.sum(cell.dropped))
+        assert np.isfinite(cell.median_smape())
+
+    def test_unfiltered_cells_drop_nothing(self, small_degradation):
+        cell = small_degradation.sweep.cell(0.3, "regression")
+        assert cell.dropped_total() == 0
+
+    def test_plain_uniform_sweep_still_has_smape(self):
+        result = run_sweep(
+            SweepConfig(n_params=1, n_functions=3, noise_levels=(0.05,), batch_size=3),
+            {"regression": "regression"},
+            rng=0,
+        )
+        cell = result.cell(0.05, "regression")
+        assert cell.smape is not None
+        assert cell.median_smape() >= 0.0

@@ -38,7 +38,7 @@ class TestRunReproduction:
     def test_all_sections_present(self, small_report):
         report, _ = small_report
         assert set(report.sweeps) == {1}
-        assert set(report.case_studies) == {"kripke", "fastest", "relearn"}
+        assert set(report.case_studies) == {"kripke", "fastest", "relearn", "tainted"}
         assert report.estimator_error is not None
         assert report.seconds > 0
 

@@ -13,7 +13,7 @@ from repro.noise.estimation import (
     repetition_bias_factor,
     summarize_noise,
 )
-from repro.noise.injection import UniformNoise
+from repro.noise.injection import TaintedRepetitionNoise, UniformNoise
 
 
 def noisy_kernel(level: float, n_points: int = 30, reps: int = 5, seed: int = 0) -> Kernel:
@@ -86,6 +86,59 @@ class TestEstimateNoiseLevel:
         estimate = estimate_noise_level(noisy_kernel(level, n_points=40, seed=seed))
         assert estimate <= level * 1.55
         assert estimate >= level * 0.75
+
+
+def tainted_kernel(
+    p: float, level: float = 0.1, n_points: int = 40, reps: int = 5, seed: int = 0
+) -> Kernel:
+    gen = np.random.default_rng(seed)
+    noise = TaintedRepetitionNoise(level=level, p=p, outlier_location=2.0)
+    k = Kernel("k")
+    for i in range(n_points):
+        true = 10.0 + i
+        k.add(Measurement(Coordinate(float(i + 2)), noise.apply(np.full(reps, true), gen)))
+    return k
+
+
+class TestRobustEstimation:
+    @pytest.mark.parametrize("level", [0.1, 0.5, 1.0])
+    def test_robust_recovers_uniform_level(self, level):
+        """4 * MAD is exact for U(-n/2, +n/2) itself; the pooled deviations
+        are mean-centered over 5 repetitions, which shrinks the spread by
+        ~sqrt(1 - 1/reps), so the estimate lands ~15-20 % low -- unlike the
+        range's ~20 % pooling *overshoot*."""
+        kern = noisy_kernel(level, n_points=60)
+        assert estimate_noise_level(kern, robust=True) == pytest.approx(level, rel=0.25)
+
+    def test_clean_data_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            estimate_noise_level(noisy_kernel(0.2, n_points=60), robust=True)
+
+    def test_taint_inflates_classic_not_robust(self):
+        kern = tainted_kernel(p=0.1)
+        classic = estimate_noise_level(kern)
+        with pytest.warns(RuntimeWarning, match="tainted"):
+            robust = estimate_noise_level(kern, robust=True)
+        assert classic > 10.0 * robust  # outliers stretch the range...
+        # ...but the MAD stays near the base level (mean-centering leaks a
+        # bit of each tainted repetition into its point's deviations, so the
+        # robust estimate sits somewhat above the injected 10 %).
+        assert robust < 0.35
+
+    def test_taint_factor_none_disables_warning(self):
+        import warnings
+
+        kern = tainted_kernel(p=0.1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            estimate_noise_level(kern, robust=True, taint_factor=None)
+
+    def test_robust_default_off_keeps_classic_estimate(self):
+        kern = noisy_kernel(0.3, n_points=40)
+        assert estimate_noise_level(kern) == estimate_noise_level(kern, robust=False)
 
 
 class TestPerPointLevels:

@@ -4,10 +4,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.noise.injection import (
+    DriftNoise,
     GammaLevelNoise,
     GaussianNoise,
+    HeteroscedasticNoise,
     LognormalSpikeNoise,
     NoNoise,
+    TaintedRepetitionNoise,
     UniformLevelRangeNoise,
     UniformNoise,
 )
@@ -113,3 +116,126 @@ class TestLognormalSpikeNoise:
         model = LognormalSpikeNoise(level=0.2, spike_probability=0.3, spike_scale=0.5)
         out = model.apply(VALUES, rng=0)
         assert np.max(out / VALUES - 1.0) > 0.2
+
+
+class TestTaintedRepetitionNoise:
+    def test_apply_matches_apply_with_mask(self):
+        model = TaintedRepetitionNoise(level=0.05, p=0.2)
+        out = model.apply(VALUES, rng=7)
+        masked_out, mask = model.apply_with_mask(VALUES, rng=7)
+        np.testing.assert_array_equal(out, masked_out)
+        assert mask.dtype == bool and mask.shape == VALUES.shape
+
+    def test_taint_fraction_tracks_p(self):
+        _, mask = TaintedRepetitionNoise(level=0.05, p=0.3).apply_with_mask(VALUES, rng=0)
+        assert np.mean(mask) == pytest.approx(0.3, abs=0.05)
+
+    def test_untainted_elements_carry_only_base_noise(self):
+        model = TaintedRepetitionNoise(level=0.10, p=0.2)
+        out, mask = model.apply_with_mask(VALUES, rng=1)
+        dev = np.abs(out / VALUES - 1.0)
+        assert np.max(dev[~mask]) <= 0.05 + 1e-12
+
+    def test_slowdown_only_outliers_exceed_truth(self):
+        model = TaintedRepetitionNoise(level=0.0, p=1.0, outlier_location=1.0)
+        out = model.apply(VALUES, rng=0)
+        assert np.all(out >= VALUES)  # exp(|draw|) >= 1
+        assert np.median(out / VALUES) > 2.0  # centred one e-fold up
+
+    def test_two_sided_taint_can_speed_up(self):
+        model = TaintedRepetitionNoise(
+            level=0.0, p=1.0, outlier_location=0.0, outlier_scale=1.0, slowdown_only=False
+        )
+        out = model.apply(VALUES, rng=0)
+        assert np.any(out < VALUES) and np.any(out > VALUES)
+
+    def test_zero_probability_no_taint(self):
+        _, mask = TaintedRepetitionNoise(level=0.1, p=0.0).apply_with_mask(VALUES, rng=3)
+        assert not mask.any()
+
+    def test_nominal_level_is_base_level(self):
+        assert TaintedRepetitionNoise(level=0.07, p=0.5).nominal_level() == 0.07
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            TaintedRepetitionNoise(level=0.1, p=1.5)
+
+    def test_input_not_modified(self):
+        values = np.full(5, 3.0)
+        TaintedRepetitionNoise(level=0.1, p=1.0).apply(values, rng=0)
+        np.testing.assert_array_equal(values, 3.0)
+
+
+class TestHeteroscedasticNoise:
+    def test_value_mode_scales_with_magnitude(self):
+        model = HeteroscedasticNoise(lo=0.01, hi=0.5, mode="value", pivot=100.0)
+        gen = np.random.default_rng(0)
+        small = np.ptp(model.apply(np.full(2000, 1.0), gen) / 1.0)
+        large = np.ptp(model.apply(np.full(2000, 1e5), gen) / 1e5)
+        assert small < 0.02  # ~lo for values far below the pivot
+        assert large > 0.3  # saturates towards hi above it
+
+    def test_index_mode_ramps_over_elements(self):
+        model = HeteroscedasticNoise(lo=0.0, hi=1.0, mode="index")
+        out = model.apply(VALUES, rng=0)
+        dev = np.abs(out / VALUES - 1.0)
+        # The first element has level lo=0, the last up to hi/2 deviation.
+        assert dev[0] == 0.0
+        assert np.max(dev[-100:]) > np.max(dev[:100])
+
+    def test_no_extra_rng_draws_for_levels(self):
+        """The per-element level is deterministic: the model consumes exactly
+        one uniform draw per element, like plain UniformNoise."""
+        model = HeteroscedasticNoise(lo=0.2, hi=0.2, mode="value")
+        out = model.apply(VALUES, rng=9)
+        base = UniformNoise(0.2).apply(VALUES, rng=9)
+        np.testing.assert_allclose(out, base)
+
+    def test_single_element_index_mode(self):
+        out = HeteroscedasticNoise(lo=0.0, hi=1.0, mode="index").apply(
+            np.array([10.0]), rng=0
+        )
+        assert out.shape == (1,)
+        np.testing.assert_array_equal(out, 10.0)  # zero-level ramp start
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            HeteroscedasticNoise(lo=0.5, hi=0.1)
+        with pytest.raises(ValueError, match="mode"):
+            HeteroscedasticNoise(lo=0.1, hi=0.5, mode="chaotic")
+        with pytest.raises(ValueError, match="pivot"):
+            HeteroscedasticNoise(lo=0.1, hi=0.5, pivot=0.0)
+
+    def test_nominal_is_midpoint(self):
+        assert HeteroscedasticNoise(lo=0.2, hi=0.4).nominal_level() == pytest.approx(0.3)
+
+
+class TestDriftNoise:
+    def test_zero_drift_equals_base(self):
+        out = DriftNoise(level=0.2, drift=0.0).apply(VALUES, rng=4)
+        base = UniformNoise(0.2).apply(VALUES, rng=4)
+        np.testing.assert_allclose(out, base)
+
+    def test_ramp_is_linear_in_index(self):
+        """With no base noise the output is exactly ``1 + slope * ramp``."""
+        out = DriftNoise(level=0.0, drift=0.5).apply(VALUES, rng=0)
+        factors = out / VALUES
+        steps = np.diff(factors)
+        np.testing.assert_allclose(steps, steps[0])
+        assert np.mean(factors) == pytest.approx(1.0)  # ramp centred on the call
+
+    def test_single_repetition_unchanged(self):
+        out = DriftNoise(level=0.0, drift=0.5).apply(np.array([10.0]), rng=0)
+        np.testing.assert_array_equal(out, 10.0)
+
+    def test_deterministic_with_seed(self):
+        a = DriftNoise(level=0.1, drift=0.3).apply(VALUES, rng=6)
+        b = DriftNoise(level=0.1, drift=0.3).apply(VALUES, rng=6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_nominal_level_is_base_level(self):
+        assert DriftNoise(level=0.15, drift=0.3).nominal_level() == 0.15
+
+    def test_invalid_drift_rejected(self):
+        with pytest.raises(ValueError):
+            DriftNoise(level=0.1, drift=-0.2)

@@ -81,6 +81,60 @@ class TestMethodsCommand:
             assert modeler.method_name == name
 
 
+class TestNoiseTokens:
+    def test_numeric_tokens_are_percent_levels(self):
+        from repro.cli import _parse_noise_tokens
+
+        spec, levels = _parse_noise_tokens(["5", "20", "50"])
+        assert spec == "uniform"
+        assert levels == (0.05, 0.20, 0.50)
+
+    def test_spec_token_names_the_model(self):
+        from repro.cli import _parse_noise_tokens
+
+        spec, levels = _parse_noise_tokens(["tainted(level=0.05)", "0", "10", "30"])
+        assert spec == "tainted(level=0.05)"
+        assert levels == (0.0, 0.10, 0.30)
+
+    def test_two_spec_tokens_exit(self):
+        from repro.cli import _parse_noise_tokens
+
+        with pytest.raises(SystemExit, match="at most one"):
+            _parse_noise_tokens(["tainted", "drift", "10"])
+
+    def test_no_levels_exit(self):
+        from repro.cli import _parse_noise_tokens
+
+        with pytest.raises(SystemExit, match="numeric axis value"):
+            _parse_noise_tokens(["tainted(level=0.05)"])
+
+    def test_evaluate_parser_accepts_spec_and_prefilter(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--noise", "tainted(level=0.05)", "0", "20",
+             "--prefilter", "mad(k=3)"]
+        )
+        assert args.noise == ["tainted(level=0.05)", "0", "20"]
+        assert args.prefilter == "mad(k=3)"
+
+
+class TestTaintedCasestudyArgs:
+    def test_tainted_choice_registered(self):
+        args = build_parser().parse_args(
+            ["casestudy", "tainted", "--contamination", "20", "--prefilter", "mad(k=3)"]
+        )
+        assert args.name == "tainted"
+        assert args.contamination == 20.0
+        assert args.prefilter == "mad(k=3)"
+
+    def test_contamination_rejected_for_other_studies(self):
+        with pytest.raises(SystemExit, match="tainted"):
+            main(["casestudy", "kripke", "--contamination", "5"])
+
+    def test_bad_prefilter_spec_fails_fast(self):
+        with pytest.raises(ValueError, match="registered prefilters"):
+            main(["casestudy", "tainted", "--prefilter", "winsorize(k=3)"])
+
+
 class TestNoiseCommand:
     def test_prints_summary(self, experiment_json, capsys):
         assert main(["noise", experiment_json]) == 0
@@ -117,6 +171,23 @@ class TestGenerateCommand:
         assert main(["model", out, "--method", "regression"]) == 0
         printed = capsys.readouterr().out
         assert "p^(3/2)" in printed
+
+    def test_generate_accepts_noise_spec(self, tmp_path, capsys):
+        out = str(tmp_path / "tainted.json")
+        assert (
+            main(
+                ["generate", out, "--noise", "tainted(level=0.05, p=0.4)", "--seed", "1"]
+            )
+            == 0
+        )
+        assert "TaintedRepetitionNoise" in capsys.readouterr().out
+        from repro.experiment.io import load_experiment
+        from repro.noise.estimation import estimate_noise_level
+
+        exp, _ = load_experiment(out)
+        # 40 % contamination with ~7x outliers: the pooled range blows up
+        # far beyond the 5 % base noise.
+        assert estimate_noise_level(exp) > 0.5
 
     def test_generate_text_format(self, tmp_path):
         out = tmp_path / "gen.txt"
