@@ -1,0 +1,154 @@
+"""Service bench: warm long-lived service vs cold per-request processes.
+
+The modeling-as-a-service pitch is amortization: one warm process pool and
+one loaded modeler serve every request, instead of paying interpreter
+start-up, imports, and modeler construction per measurement set. This
+bench times the same seeded request stream two ways:
+
+* **cold path** -- one ``repro-model model`` subprocess per request, the
+  way a cron job or shell loop would drive the batch CLI;
+* **warm path** -- one ``ModelingService`` over a unix socket, the
+  requests submitted through ``repro.service.client``.
+
+Every warm response must be byte-for-byte the cold subprocess's stdout
+(the service's bit-identity contract); the sustained requests/sec of both
+paths goes to ``benchmarks/results/BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiment.io import save_json, to_json_dict
+from repro.noise.injection import UniformNoise
+from repro.pmnf.parser import parse_function
+from repro.service import ModelingService, ServiceConfig, serve_unix, start_server
+from repro.service.client import ServiceClient
+from repro.synthesis.measurements import synthesize_experiment
+from repro.util.artifacts import atomic_write_json
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+METHOD = "regression"
+N_REQUESTS = int(os.environ.get("REPRO_SERVICE_REQUESTS", "12"))
+SEED = 20210517
+
+
+def _request_stream():
+    """N distinct seeded measurement sets: same shape, different noise."""
+    function = parse_function("12.5 + 0.7 * p^1.5 * log2(p)", ["p"])
+    values = [np.array([4.0, 8.0, 16.0, 32.0, 64.0])]
+    experiments = []
+    for i in range(N_REQUESTS):
+        experiments.append(
+            synthesize_experiment(
+                function,
+                values,
+                noise=UniformNoise(0.2),
+                repetitions=5,
+                rng=SEED + i,
+                parameter_names=["p"],
+                kernel=f"kern_{i:02d}",
+            )
+        )
+    return experiments
+
+
+def _cold_lines(path: Path) -> tuple[list[str], float]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).parent.parent / "src")
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "model", str(path), "--method", METHOD,
+         "--seed", "0"],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    seconds = time.perf_counter() - started
+    return [line for line in proc.stdout.splitlines() if line], seconds
+
+
+def test_warm_service_beats_cold_processes(tmp_path, record_table, benchmark):
+    experiments = _request_stream()
+
+    # Cold path: one fresh interpreter + modeler per request.
+    cold_seconds = 0.0
+    cold_lines = []
+    for i, exp in enumerate(experiments):
+        path = tmp_path / f"req_{i:02d}.json"
+        save_json(exp, path)
+        lines, seconds = _cold_lines(path)
+        cold_lines.append(lines)
+        cold_seconds += seconds
+
+    # Warm path: one service, one socket, the same requests.
+    service = ModelingService(
+        ServiceConfig(processes=1, queue_limit=max(64, N_REQUESTS), run_dir=tmp_path / "run")
+    )
+    service.start()
+    server = serve_unix(service, tmp_path / "bench.sock")
+    start_server(server)
+    try:
+        client = ServiceClient(f"unix:{tmp_path / 'bench.sock'}", timeout=300)
+        payloads = [to_json_dict(exp) for exp in experiments]
+        client.model(payloads[0], method=METHOD, seed=0)  # warm the pool modeler
+
+        started = time.perf_counter()
+        responses = [client.model(p, method=METHOD, seed=0) for p in payloads]
+        warm_seconds = time.perf_counter() - started
+
+        for lines, response in zip(cold_lines, responses):
+            assert [m["formatted"] for m in response["models"]] == lines, (
+                "warm service output must be byte-identical to the batch CLI"
+            )
+
+        # Timed unit: one request through the warm service.
+        benchmark(lambda: client.model(payloads[0], method=METHOD, seed=0))
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    warm_rps = N_REQUESTS / warm_seconds
+    cold_rps = N_REQUESTS / cold_seconds
+    speedup = warm_rps / cold_rps
+    payload = {
+        "bench": "service",
+        "requests": N_REQUESTS,
+        "method": METHOD,
+        "seed": SEED,
+        "cpu_count": os.cpu_count() or 1,
+        "cold_path": {
+            "mode": "one subprocess per request",
+            "seconds": round(cold_seconds, 3),
+            "requests_per_s": round(cold_rps, 3),
+        },
+        "warm_path": {
+            "mode": "unix-socket service, warm pool",
+            "seconds": round(warm_seconds, 3),
+            "requests_per_s": round(warm_rps, 3),
+        },
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    atomic_write_json(RESULTS_DIR / "BENCH_service.json", payload)
+
+    lines = [
+        f"{'path':<8} {'req/s':>8} {'seconds':>9}",
+        f"{'cold':<8} {cold_rps:>8.2f} {cold_seconds:>9.2f}",
+        f"{'warm':<8} {warm_rps:>8.2f} {warm_seconds:>9.2f}",
+        f"speedup {speedup:.1f}x over {N_REQUESTS} requests; responses bit-identical",
+    ]
+    record_table("Warm service vs cold per-request processes", "\n".join(lines))
+
+    assert speedup > 1.0, "the warm service must beat cold per-request processes"

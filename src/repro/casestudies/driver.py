@@ -12,7 +12,7 @@ from repro.modeling.registry import create_modelers
 from repro.noise.estimation import NoiseSummary, summarize_noise
 from repro.obs import recording, worker_recording
 from repro.obs.sink import TRACE_FILENAME, build_trace_records, write_trace
-from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
+from repro.parallel.engine import EngineConfig, EngineSession, Progress, TaskFailure
 from repro.regression.modeler import ModelResult
 from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
 from repro.util.seeding import as_generator, spawn_generators
@@ -221,16 +221,21 @@ def run_case_study(
                 with tel.tracer.span(
                     "casestudy.engine", tasks=len(modelers)
                 ) as engine_span:
-                    raw = run_tasks(
-                        _model_one_modeler,
-                        list(zip(modelers.keys(), modeler_rngs)),
+                    # The worker state (the modeling experiment) is per-run,
+                    # so the session is one-shot here -- but the engine setup
+                    # is the same EngineSession seam the service keeps warm.
+                    with EngineSession(
                         engine_config,
                         initializer=_init_driver_worker,
                         initargs=(modeling, modelers),
-                        progress=progress,
-                        journal=journal,
-                        pre_pass=pre_pass,
-                    )
+                    ) as engine_session:
+                        raw = engine_session.run(
+                            _model_one_modeler,
+                            list(zip(modelers.keys(), modeler_rngs)),
+                            progress=progress,
+                            journal=journal,
+                            pre_pass=pre_pass,
+                        )
 
             outcomes: list[KernelOutcome] = []
             total_seconds: dict[str, float] = {}

@@ -9,6 +9,7 @@ Subcommands::
     repro-model evaluate --params 1              synthetic sweep (Fig. 3 tables)
     repro-model casestudy kripke                 run a simulated case study
     repro-model trace <run-dir>                  render a run's telemetry trace
+    repro-model serve --socket /tmp/repro.sock   long-lived modeling service
 
 ``--method`` accepts any registered modeler spec string, e.g.
 ``--method "dnn(top_k=5)"``; ``repro-model methods`` lists them.
@@ -475,6 +476,61 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service import ModelingService, ServiceConfig, serve_http, serve_unix, start_server
+
+    if args.socket is None and args.port is None:
+        raise SystemExit("serve needs a transport: --socket PATH and/or --port N")
+    config = ServiceConfig(
+        processes=args.processes,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch,
+        linger_s=args.linger,
+        default_timeout_s=args.timeout,
+        run_dir=args.run_dir,
+        telemetry=not args.no_telemetry,
+    )
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, _request_shutdown)
+    signal.signal(signal.SIGTERM, _request_shutdown)
+
+    service = ModelingService(config)
+    service.start()
+    servers = []
+    try:
+        if args.socket is not None:
+            servers.append(serve_unix(service, args.socket))
+            print(f"serving on unix:{args.socket}", file=sys.stderr, flush=True)
+        if args.port is not None:
+            http_server = serve_http(service, args.host, args.port)
+            servers.append(http_server)
+            host, port = http_server.server_address[:2]
+            print(f"serving on http://{host}:{port}", file=sys.stderr, flush=True)
+        if args.run_dir is not None:
+            print(
+                f"journaling per-tenant responses under {args.run_dir}",
+                file=sys.stderr,
+                flush=True,
+            )
+        for server in servers:
+            start_server(server)
+        stop.wait()
+        print("shutting down: draining queued requests...", file=sys.stderr, flush=True)
+    finally:
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+        service.close(drain=True)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.report import (
         load_run_trace,
@@ -671,6 +727,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a journaled case study, replaying completed modelers",
     )
     p_case.set_defaults(func=_cmd_casestudy)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived modeling service (unix socket / localhost HTTP)"
+    )
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix socket path to listen on"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind host (local only)")
+    p_serve.add_argument(
+        "--port", type=int, default=None, help="TCP port to listen on (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--processes", type=int, default=None,
+        help="warm worker processes for the engine session (default: REPRO_PROCS)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded request queue; submissions beyond it get 429 + Retry-After",
+    )
+    p_serve.add_argument(
+        "--batch", type=int, default=8,
+        help="max requests coalesced into one dispatch (batched DNN classification)",
+    )
+    p_serve.add_argument(
+        "--linger", type=float, default=0.05, metavar="S",
+        help="seconds the batcher waits for concurrent requests to coalesce",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="seconds one request may wait for its response before 504",
+    )
+    p_serve.add_argument(
+        "--run-dir", default=None,
+        help="journal responses into per-tenant sub-manifests (tenants/<name>/) "
+        "and write the telemetry trace artifact here",
+    )
+    p_serve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable the live telemetry session behind /metrics",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser(
         "trace", help="render the telemetry trace of a journaled run"

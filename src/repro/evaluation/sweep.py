@@ -30,7 +30,7 @@ from repro.modeling.registry import create_modelers
 from repro.noise.registry import noise_axis, noise_for_level
 from repro.obs import recording, worker_recording
 from repro.obs.sink import TRACE_FILENAME, build_trace_records, write_trace
-from repro.parallel.engine import EngineConfig, Progress, TaskFailure, run_tasks
+from repro.parallel.engine import EngineConfig, EngineSession, Progress, TaskFailure
 from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
 from repro.synthesis.evaluation_points import evaluation_points
 from repro.synthesis.functions import (
@@ -423,6 +423,29 @@ def _warm_adaptation_store(store, adapting, config: SweepConfig, tasks, manifest
         store.warm_up(network, keys, manifest=manifest)
 
 
+def sweep_session(
+    config: SweepConfig,
+    modelers: "Mapping[str, object] | Sequence[str]",
+    engine: "EngineConfig | None" = None,
+    processes: "int | None" = None,
+) -> EngineSession:
+    """A warm-pool :class:`EngineSession` primed for :func:`run_sweep` calls.
+
+    Passing the returned session to repeated ``run_sweep(...,
+    session=...)`` calls (same ``config``/``modelers``) keeps the worker
+    processes -- and their initializer-warmed modeler state -- alive across
+    sweeps instead of re-forking per call. Close the session (or use it as
+    a context manager) when done.
+    """
+    modelers = create_modelers(modelers)
+    engine_config = engine or EngineConfig()
+    if processes is not None:
+        engine_config = replace(engine_config, processes=processes)
+    return EngineSession(
+        engine_config, initializer=_init_worker, initargs=(config, modelers)
+    )
+
+
 def run_sweep(
     config: SweepConfig,
     modelers: "Mapping[str, object] | Sequence[str]",
@@ -433,6 +456,7 @@ def run_sweep(
     run_dir: "str | None" = None,
     resume: bool = False,
     adaptation_cache=None,
+    session: "EngineSession | None" = None,
 ) -> SweepResult:
     """Run the full sweep through the fault-tolerant engine.
 
@@ -471,10 +495,23 @@ def run_sweep(
     Results are bit-identical with the cache on, off, warm, or cold --
     adaptation RNG streams are derived from the cluster keys, never from the
     task streams.
+
+    ``session`` (from :func:`sweep_session`) reuses a warm worker pool
+    across repeated sweeps; it must have been built for the same
+    ``config``, and ``engine``/``processes`` are then taken from the
+    session. The session stays open for the caller to reuse or close.
     """
     if not modelers:
         raise ValueError("at least one modeler is required")
     modelers = create_modelers(modelers)
+    if session is not None:
+        if session.initargs and session.initargs[0] != config:
+            raise ValueError(
+                "session was built for a different SweepConfig; "
+                "create it with sweep_session(config, modelers)"
+            )
+        if engine is not None or processes is not None:
+            raise ValueError("session and engine/processes are mutually exclusive")
     adaptation_store, adapting_dnns = (
         _resolve_adaptation_store(adaptation_cache, modelers)
         if adaptation_cache is not None
@@ -528,16 +565,27 @@ def run_sweep(
         ):
             with tel.tracer.span("sweep.engine", batches=len(batches)) as engine_span:
                 with Timer() as total:
-                    raw_batches = run_tasks(
-                        _run_batch,
-                        batches,
-                        engine_config,
-                        initializer=_init_worker,
-                        initargs=(config, modelers),
-                        progress=progress,
-                        journal=journal,
-                        pre_pass=pre_pass,
-                    )
+                    if session is not None:
+                        raw_batches = session.run(
+                            _run_batch,
+                            batches,
+                            progress=progress,
+                            journal=journal,
+                            pre_pass=pre_pass,
+                        )
+                    else:
+                        with EngineSession(
+                            engine_config,
+                            initializer=_init_worker,
+                            initargs=(config, modelers),
+                        ) as one_shot:
+                            raw_batches = one_shot.run(
+                                _run_batch,
+                                batches,
+                                progress=progress,
+                                journal=journal,
+                                pre_pass=pre_pass,
+                            )
             raw: list[TaskOutcome] = []
             engine_failures = 0
             for batch, entry in zip(batches, raw_batches):

@@ -26,11 +26,15 @@ Two layers of strictness:
   :func:`load_text`) accept anything structurally valid -- including
   negative runtimes and ragged repetition counts -- because synthetic and
   handwritten inputs legitimately use both.
-* :func:`load_experiment` (what the CLI uses) additionally validates every
+* :func:`parse_experiment` (and :func:`load_experiment`, its thin
+  path-suffix wrapper used by the CLI) additionally validates every
   kernel's raw values -- NaN/Inf, negative runtimes, ragged repetition
-  rows -- with errors that name the offending file location. With
+  rows -- with errors that name the offending input location. With
   ``keep_going=True`` a bad kernel is quarantined (dropped and reported,
   optionally journaled into a run manifest) instead of failing the load.
+  :func:`parse_experiment` works on in-memory payloads (decoded JSON
+  dicts, ``bytes``, or text in any of the three formats), which is what
+  the modeling service feeds it -- no temp-file round-trips.
 
 All savers write atomically (temp file + rename), so a crash mid-save never
 leaves a truncated experiment file behind.
@@ -141,19 +145,30 @@ def load_json(path: "str | Path") -> Experiment:
     return from_json_dict(json.loads(Path(path).read_text()), path=path)
 
 
-def _read_raw_json(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
+def _raw_json_from_text(text: str, source: str) -> "tuple[list[str], list[_RawKernel]]":
     try:
-        data = json.loads(Path(path).read_text())
+        data = json.loads(text)
     except json.JSONDecodeError as err:
-        raise ExperimentFormatError(f"{path}:{err.lineno}: invalid JSON: {err.msg}") from None
-    _check_json_version(data, path)
+        raise ExperimentFormatError(f"{source}:{err.lineno}: invalid JSON: {err.msg}") from None
+    return _raw_json_from_data(data, source)
+
+
+def _raw_json_from_data(data, source: str) -> "tuple[list[str], list[_RawKernel]]":
+    if not isinstance(data, dict):
+        raise ExperimentFormatError(
+            f"{source}: expected a JSON object at the top level, got {type(data).__name__}"
+        )
+    _check_json_version(data, source)
+    for field in ("parameters", "kernels"):
+        if field not in data:
+            raise ExperimentFormatError(f"{source}: missing {field!r} field")
     kernels = []
     for kern_data in data["kernels"]:
         name = kern_data["name"]
         merged: dict[Coordinate, list[float]] = {}
         locations: dict[Coordinate, str] = {}
         for i, meas in enumerate(kern_data["measurements"]):
-            location = f"{path}: kernel {name!r}, measurement {i}"
+            location = f"{source}: kernel {name!r}, measurement {i}"
             try:
                 coord = Coordinate(*meas["point"])
             except ValueError as err:
@@ -164,7 +179,7 @@ def _read_raw_json(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
             _RawKernel(
                 name=name,
                 metric=kern_data.get("metric", "time"),
-                location=f"{path}: kernel {name!r}",
+                location=f"{source}: kernel {name!r}",
                 points=tuple(
                     (locations[c], c, tuple(vals)) for c, vals in merged.items()
                 ),
@@ -190,47 +205,46 @@ def save_csv(experiment: Experiment, path: "str | Path") -> None:
     atomic_write_text(path, buffer.getvalue())
 
 
-def _read_raw_csv(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
+def _raw_csv_from_text(text: str, source: str) -> "tuple[list[str], list[_RawKernel]]":
     import csv
 
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ExperimentFormatError(f"{path}: empty CSV file") from None
-        if len(header) < 4 or header[0] != "kernel" or header[1] != "metric" or header[-1] != "value":
+    reader = csv.reader(io.StringIO(text, newline=""))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ExperimentFormatError(f"{source}: empty CSV file") from None
+    if len(header) < 4 or header[0] != "kernel" or header[1] != "metric" or header[-1] != "value":
+        raise ExperimentFormatError(
+            f"{source}: expected header 'kernel,metric,<parameters...>,value', got {header!r}"
+        )
+    parameters = header[2:-1]
+    order: list[str] = []
+    metrics: dict[str, str] = {}
+    first_seen: dict[str, str] = {}
+    merged: dict[str, dict[Coordinate, list[float]]] = {}
+    locations: dict[str, dict[Coordinate, str]] = {}
+    for lineno, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        location = f"{source}:{lineno}"
+        if len(row) != len(header):
             raise ExperimentFormatError(
-                f"{path}: expected header 'kernel,metric,<parameters...>,value', got {header!r}"
+                f"{location}: expected {len(header)} columns, got {len(row)}"
             )
-        parameters = header[2:-1]
-        order: list[str] = []
-        metrics: dict[str, str] = {}
-        first_seen: dict[str, str] = {}
-        merged: dict[str, dict[Coordinate, list[float]]] = {}
-        locations: dict[str, dict[Coordinate, str]] = {}
-        for lineno, row in enumerate(reader, start=2):
-            if not row:
-                continue
-            location = f"{path}:{lineno}"
-            if len(row) != len(header):
-                raise ExperimentFormatError(
-                    f"{location}: expected {len(header)} columns, got {len(row)}"
-                )
-            name, metric, *rest = row
-            try:
-                coordinate = Coordinate(*[float(v) for v in rest[:-1]])
-                value = float(rest[-1])
-            except ValueError as err:
-                raise ExperimentFormatError(f"{location}: {err}") from None
-            if name not in metrics:
-                order.append(name)
-                metrics[name] = metric
-                first_seen[name] = location
-                merged[name] = {}
-                locations[name] = {}
-            locations[name].setdefault(coordinate, location)
-            merged[name].setdefault(coordinate, []).append(value)
+        name, metric, *rest = row
+        try:
+            coordinate = Coordinate(*[float(v) for v in rest[:-1]])
+            value = float(rest[-1])
+        except ValueError as err:
+            raise ExperimentFormatError(f"{location}: {err}") from None
+        if name not in metrics:
+            order.append(name)
+            metrics[name] = metric
+            first_seen[name] = location
+            merged[name] = {}
+            locations[name] = {}
+        locations[name].setdefault(coordinate, location)
+        merged[name].setdefault(coordinate, []).append(value)
     kernels = [
         _RawKernel(
             name=name,
@@ -252,7 +266,7 @@ def load_csv(path: "str | Path") -> Experiment:
     rows may appear in any order. Parameter names are taken from the header
     (every column between ``metric`` and ``value``).
     """
-    parameters, kernels = _read_raw_csv(path)
+    parameters, kernels = _raw_csv_from_text(Path(path).read_text(), str(path))
     return _assemble(parameters, kernels, path)
 
 
@@ -300,7 +314,7 @@ def _parse_points(spec: str) -> list[Coordinate]:
     return coords
 
 
-def _read_raw_text(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
+def _raw_text_from_text(text: str, source: str) -> "tuple[list[str], list[_RawKernel]]":
     parameters: list[str] = []
     points: "list[Coordinate] | None" = None
     metric = "time"
@@ -326,7 +340,7 @@ def _read_raw_text(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
         )
         current = None
 
-    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -349,7 +363,7 @@ def _read_raw_text(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
                 if any(k.name == name for k in kernels):
                     raise ValueError(f"kernel {name!r} already exists")
                 kernels.append(
-                    _RawKernel(name=name, metric=metric, location=f"{path}:{lineno}", points=())
+                    _RawKernel(name=name, metric=metric, location=f"{source}:{lineno}", points=())
                 )
                 current = []
                 data_index = 0
@@ -360,21 +374,21 @@ def _read_raw_text(path: "str | Path") -> "tuple[list[str], list[_RawKernel]]":
                     raise ValueError("more DATA lines than POINTS")
                 values = tuple(float(v) for v in rest.split())
                 if values:
-                    current.append((f"{path}:{lineno}", points[data_index], values))
+                    current.append((f"{source}:{lineno}", points[data_index], values))
                 data_index += 1
             else:
                 raise ValueError(f"unknown keyword {keyword!r}")
         except ValueError as err:
-            raise ExperimentFormatError(f"{path}:{lineno}: {err}") from None
+            raise ExperimentFormatError(f"{source}:{lineno}: {err}") from None
     flush()
     if not kernels:
-        raise ExperimentFormatError(f"{path}: file defines no REGION")
+        raise ExperimentFormatError(f"{source}: file defines no REGION")
     return parameters, kernels
 
 
 def load_text(path: "str | Path") -> Experiment:
     """Parse the Extra-P style text format."""
-    parameters, kernels = _read_raw_text(path)
+    parameters, kernels = _raw_text_from_text(Path(path).read_text(), str(path))
     return _assemble(parameters, kernels, path)
 
 
@@ -421,30 +435,14 @@ def _validate_raw_kernel(raw: _RawKernel) -> "QuarantineRecord | None":
     return None
 
 
-def load_experiment(
-    path: "str | Path",
-    keep_going: bool = False,
-    manifest=None,
+def _validate_and_assemble(
+    parameters: "list[str]",
+    raw_kernels: "list[_RawKernel]",
+    source: str,
+    keep_going: bool,
+    manifest,
 ) -> "tuple[Experiment, list[QuarantineRecord]]":
-    """Load *and validate* an experiment file (format chosen by suffix).
-
-    Beyond the structural checks of the per-format loaders, every kernel's
-    raw values must be finite, non-negative, and have the same number of
-    repetitions at every point. A violation raises
-    :class:`ExperimentFormatError` naming the file location -- unless
-    ``keep_going`` is set, in which case the offending kernel is dropped and
-    reported in the returned quarantine list (and recorded into ``manifest``
-    via :meth:`RunManifest.record_quarantine` when one is given).
-    """
-    path = Path(path)
-    suffix = path.suffix.lower()
-    if suffix == ".json":
-        parameters, raw_kernels = _read_raw_json(path)
-    elif suffix == ".csv":
-        parameters, raw_kernels = _read_raw_csv(path)
-    else:
-        parameters, raw_kernels = _read_raw_text(path)
-
+    """Shared validation/quarantine core of ``parse``/``load_experiment``."""
     quarantined: list[QuarantineRecord] = []
     for raw in raw_kernels:
         record = _validate_raw_kernel(raw)
@@ -462,6 +460,79 @@ def load_experiment(
     if skip and len(skip) == len(raw_kernels):
         reasons = "; ".join(f"{r.kernel}: {r.reason}" for r in quarantined)
         raise ExperimentFormatError(
-            f"{path}: every kernel was quarantined, nothing left to model ({reasons})"
+            f"{source}: every kernel was quarantined, nothing left to model ({reasons})"
         )
-    return _assemble(parameters, raw_kernels, path, skip=skip), quarantined
+    return _assemble(parameters, raw_kernels, source, skip=skip), quarantined
+
+
+def parse_experiment(
+    payload,
+    format: str = "json",
+    source: "str | None" = None,
+    keep_going: bool = False,
+    manifest=None,
+) -> "tuple[Experiment, list[QuarantineRecord]]":
+    """Parse *and validate* an in-memory experiment payload.
+
+    ``payload`` may be an already-decoded JSON dictionary (the
+    :func:`to_json_dict` layout), UTF-8 ``bytes``, or a ``str`` holding any
+    of the three supported formats -- ``format`` selects ``"json"``,
+    ``"csv"``, or ``"text"`` for textual payloads. ``source`` labels error
+    messages and quarantine locations (defaults to ``"<payload>"``).
+
+    Validation and quarantine semantics are exactly those of
+    :func:`load_experiment` (which is a thin path-suffix wrapper over this
+    function): every kernel's raw values must be finite, non-negative, and
+    have the same number of repetitions at every point. A violation raises
+    :class:`ExperimentFormatError` naming the input location -- unless
+    ``keep_going`` is set, in which case the offending kernel is dropped and
+    reported in the returned quarantine list (and recorded into ``manifest``
+    via :meth:`RunManifest.record_quarantine` when one is given).
+    """
+    label = "<payload>" if source is None else source
+    if isinstance(payload, (bytes, bytearray)):
+        try:
+            payload = bytes(payload).decode("utf-8")
+        except UnicodeDecodeError as err:
+            raise ExperimentFormatError(f"{label}: payload is not valid UTF-8: {err}") from None
+    if isinstance(payload, dict):
+        parameters, raw_kernels = _raw_json_from_data(payload, label)
+    elif isinstance(payload, str):
+        if format == "json":
+            parameters, raw_kernels = _raw_json_from_text(payload, label)
+        elif format == "csv":
+            parameters, raw_kernels = _raw_csv_from_text(payload, label)
+        elif format == "text":
+            parameters, raw_kernels = _raw_text_from_text(payload, label)
+        else:
+            raise ValueError(
+                f"unknown experiment format {format!r}: expected 'json', 'csv', or 'text'"
+            )
+    else:
+        raise TypeError(
+            f"experiment payload must be a dict, str, or bytes, got {type(payload).__name__}"
+        )
+    return _validate_and_assemble(parameters, raw_kernels, label, keep_going, manifest)
+
+
+def load_experiment(
+    path: "str | Path",
+    keep_going: bool = False,
+    manifest=None,
+) -> "tuple[Experiment, list[QuarantineRecord]]":
+    """Load *and validate* an experiment file (format chosen by suffix).
+
+    A thin wrapper over :func:`parse_experiment`: reads the file, picks the
+    format from the suffix (``.json``/``.csv``, anything else is the text
+    format), and parses with error messages naming the file location.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    format = {"json": "json", "csv": "csv"}.get(suffix.lstrip("."), "text")
+    return parse_experiment(
+        path.read_text(),
+        format=format,
+        source=str(path),
+        keep_going=keep_going,
+        manifest=manifest,
+    )

@@ -21,14 +21,36 @@ SUMMARY_SCHEMA = "repro.trace-summary/v1"
 
 
 def load_run_trace(run_dir: "str | Path") -> list[dict]:
-    """Read ``trace.jsonl`` from a run directory (validated)."""
-    path = Path(run_dir) / TRACE_FILENAME
-    if not path.exists():
+    """Read ``trace.jsonl`` from a run directory (validated).
+
+    The failure modes are distinguished so ``repro-model trace`` can say
+    what actually happened instead of a generic "file not found": a run
+    directory that does not exist, a directory that never held a journaled
+    run, and a journaled run whose trace is absent -- which means the run
+    either executed with telemetry disabled or is still in flight (the
+    trace artifact is written when the run finishes).
+    """
+    from repro.run.manifest import MANIFEST_NAME
+
+    directory = Path(run_dir)
+    path = directory / TRACE_FILENAME
+    if path.exists():
+        return read_trace(path)
+    if not directory.is_dir():
         raise FileNotFoundError(
-            f"no {TRACE_FILENAME} in {run_dir}: run with --telemetry (or "
-            f"REPRO_TELEMETRY=1) and a --run-dir to record one"
+            f"run directory {run_dir} does not exist (nothing to trace)"
         )
-    return read_trace(path)
+    if not (directory / MANIFEST_NAME).exists():
+        raise FileNotFoundError(
+            f"{run_dir} holds no run manifest: point 'repro-model trace' at a "
+            f"--run-dir recorded with --telemetry (or REPRO_TELEMETRY=1)"
+        )
+    raise FileNotFoundError(
+        f"run {run_dir} has no {TRACE_FILENAME}: the run either executed with "
+        f"telemetry disabled or is still in flight -- the trace artifact is "
+        f"written when the run finishes. Re-run with --telemetry (or "
+        f"REPRO_TELEMETRY=1) to record one"
+    )
 
 
 def summarize_trace(records: "list[dict]") -> dict:

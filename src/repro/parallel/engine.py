@@ -34,6 +34,12 @@ Chunks run through ``imap_unordered`` so a slow chunk never blocks
 completed ones from being collected; the reassembly layer writes each
 result into its task-index slot, which restores task order regardless of
 scheduling.
+
+Execution is owned by :class:`EngineSession`, a reusable warm-pool object:
+:func:`run_tasks` wraps one session around a single call (the historical
+batch shape), while long-lived callers -- the modeling service front end --
+keep a session open so worker processes and their initializer-warmed state
+survive across request batches.
 """
 
 from __future__ import annotations
@@ -178,8 +184,7 @@ class _RunState:
 _WORKER: dict = {}
 
 
-def _init_engine_worker(fn, initializer, initargs) -> None:
-    _WORKER["fn"] = fn
+def _init_engine_worker(initializer, initargs) -> None:
     if initializer is not None:
         initializer(*initargs)
 
@@ -188,13 +193,18 @@ def _describe(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _run_chunk(chunk: "list[tuple[int, Any]]") -> "list[tuple[int, bool, Any, Any]]":
-    """Run one chunk of ``(index, item)`` tasks; never raises.
+def _run_chunk(payload: "tuple[Any, list[tuple[int, Any]]]") -> "list[tuple[int, bool, Any, Any]]":
+    """Run one ``(fn, chunk)`` of ``(index, item)`` tasks; never raises.
+
+    The task function travels with each chunk (pickled by reference, so the
+    cost is its qualified name) rather than with the worker initializer --
+    that is what lets one warm :class:`EngineSession` pool serve ``run``
+    calls with different functions.
 
     Exceptions are captured per task as ``(message, traceback)`` string
     pairs so the records stay picklable no matter what the task raised.
     """
-    fn = _WORKER["fn"]
+    fn, chunk = payload
     records: list[tuple[int, bool, Any, Any]] = []
     for index, item in chunk:
         try:
@@ -209,6 +219,273 @@ def _run_chunk(chunk: "list[tuple[int, Any]]") -> "list[tuple[int, bool, Any, An
 
 
 # ----------------------------------------------------------------- driver side
+class EngineSession:
+    """A reusable warm-pool execution session with the engine's policy.
+
+    One-shot callers use :func:`run_tasks`, which wraps a session around a
+    single ``run``. Long-lived callers -- the modeling service, drivers
+    issuing many batches -- construct a session once, call :meth:`run` per
+    batch, and keep the worker processes (and everything the initializer
+    warmed in them: loaded networks, encoding caches, adapted weights)
+    alive across calls. The worker pool is created lazily on the first
+    ``run`` that needs it and sized then; :meth:`close` (or the context
+    manager) tears it down.
+
+    Each ``run`` keeps the strict determinism contract: results in item
+    order, bit-identical serial/parallel/resumed execution. A chunk-timeout
+    teardown marks the pool dead, so the next ``run`` transparently gets a
+    fresh one. Sessions are not re-entrant: one ``run`` at a time.
+    """
+
+    def __init__(
+        self,
+        config: "EngineConfig | None" = None,
+        initializer: "Callable[..., None] | None" = None,
+        initargs: tuple = (),
+    ):
+        self.config = config or EngineConfig()
+        self.initializer = initializer
+        self.initargs = initargs
+        self._pool = None
+        self._serial_ready = False
+        self._closed = False
+
+    # -- lifecycle
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def processes(self) -> int:
+        """Worker count a parallel run would use (resolves ``REPRO_PROCS``)."""
+        return resolve_processes(self.config.processes)
+
+    @property
+    def pool_alive(self) -> bool:
+        """Whether a warm worker pool currently exists."""
+        return self._pool is not None
+
+    def warm_up(self) -> None:
+        """Eagerly create the worker pool (and run the initializer).
+
+        Long-lived callers invoke this at startup so the first request does
+        not pay the fork-and-initialize cost. With one worker the session
+        runs in-process; warming then just runs the initializer locally.
+        """
+        n_procs = self.processes
+        if n_procs <= 1:
+            self._ensure_serial_init()
+        else:
+            self._ensure_pool(n_procs)
+
+    def close(self) -> None:
+        """Tear down the worker pool; the session cannot run afterwards."""
+        self._discard_pool()
+        self._closed = True
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self, n_procs: int):
+        if self._pool is None:
+            ctx = pool_context(self.config.start_method)
+            self._pool = ctx.Pool(
+                n_procs,
+                initializer=_init_engine_worker,
+                initargs=(self.initializer, self.initargs),
+            )
+        return self._pool
+
+    def _ensure_serial_init(self) -> None:
+        if not self._serial_ready:
+            if self.initializer is not None:
+                self.initializer(*self.initargs)
+            self._serial_ready = True
+
+    # -- execution
+    def run(
+        self,
+        fn: Callable[[T], R],
+        items: "Sequence[T] | Iterable[T]",
+        progress: "Callable[[Progress], None] | None" = None,
+        journal=None,
+        pre_pass: "Callable[[], None] | None" = None,
+    ) -> "list[R | TaskFailure]":
+        """Map ``fn`` over ``items`` under the engine's fault-tolerance policy.
+
+        Semantics match :func:`run_tasks`; see there for the ``journal``
+        and ``pre_pass`` contracts. ``fn`` may differ between ``run`` calls
+        on the same session -- it travels with the chunks, not the workers.
+        """
+        if self._closed:
+            raise RuntimeError("EngineSession is closed")
+        items = list(items)
+        state = _RunState(len(items), progress)
+        restored: dict[int, Any] = {}
+        if journal is not None:
+            restored = {
+                index: value
+                for index, value in journal.completed_tasks().items()
+                if 0 <= index < len(items)
+            }
+            state.skipped = len(restored)
+        n_procs = self.processes
+        telemetry = get_telemetry()
+        with telemetry.tracer.span(
+            "engine.run_tasks", tasks=len(items), processes=n_procs, restored=len(restored)
+        ):
+            if pre_pass is not None and len(restored) < len(items):
+                with telemetry.tracer.span("engine.pre_pass"):
+                    pre_pass()
+            # Tiny pending sets run in-process -- unless a warm pool already
+            # exists, in which case dispatching to it is cheaper than
+            # duplicating the workers' warmed state here.
+            if n_procs <= 1 or (
+                self._pool is None and len(items) - len(restored) <= 1
+            ):
+                results = self._run_serial(fn, items, state, restored, journal)
+            else:
+                results = self._run_pool(fn, items, n_procs, state, restored, journal)
+        # One unified channel for the engine's operational counters: the same
+        # numbers the Progress callback streams, absorbed into the metrics
+        # registry once per run call.
+        metrics = telemetry.metrics
+        if metrics.enabled:
+            metrics.counter("engine.completed").inc(state.completed)
+            metrics.counter("engine.failed").inc(state.failed)
+            metrics.counter("engine.retried").inc(state.retried)
+            metrics.counter("engine.skipped").inc(state.skipped)
+            metrics.counter("engine.timed_out").inc(
+                sum(1 for r in results if isinstance(r, TaskFailure) and r.timed_out)
+            )
+        return results
+
+    def _run_serial(self, fn, items, state, restored, journal):
+        config = self.config
+        pending = [index for index in range(len(items)) if index not in restored]
+        if pending:
+            self._ensure_serial_init()
+        results: list = [None] * len(items)
+        for index, value in restored.items():
+            results[index] = value
+        for index in pending:
+            item = items[index]
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    faults.fault_point("engine.task")
+                    results[index] = fn(item)
+                    state.completed += 1
+                    if journal is not None:
+                        journal.record_task(index, results[index])
+                    break
+                except Exception as exc:
+                    if attempts <= config.max_retries:
+                        state.retried += 1
+                        continue
+                    if config.on_error == "raise":
+                        raise TaskError(
+                            index, item, _describe(exc), traceback.format_exc(), attempts
+                        ) from exc
+                    results[index] = TaskFailure(
+                        index, _describe(exc), traceback.format_exc(), attempts
+                    )
+                    state.failed += 1
+                    break
+            state.emit()
+        if not pending:
+            state.emit()
+        return results
+
+    def _collect_round(self, pool, fn, pending, chunksize, timeout, results, state, journal):
+        """Submit ``pending`` tasks and collect one round of chunk results.
+
+        Returns ``(failed, missing)``: tasks whose function raised (retry
+        candidates, with their error records) and tasks whose chunks never
+        came back before ``timeout`` (only non-empty when the timeout guard
+        fired). Successful results are journaled the moment their chunk
+        arrives, so a crash loses at most the chunks still in flight.
+        """
+        chunks = [
+            (fn, pending[i : i + chunksize]) for i in range(0, len(pending), chunksize)
+        ]
+        failed: list[tuple[int, Any, tuple[str, str]]] = []
+        done: set[int] = set()
+        iterator = pool.imap_unordered(_run_chunk, chunks)
+        for _ in range(len(chunks)):
+            try:
+                records = iterator.next(timeout) if timeout is not None else next(iterator)
+            except multiprocessing.TimeoutError:
+                missing = [(index, item) for index, item in pending if index not in done]
+                return failed, missing
+            for index, ok, value, error in records:
+                done.add(index)
+                if ok:
+                    results[index] = value
+                    state.completed += 1
+                    if journal is not None:
+                        journal.record_task(index, value)
+                else:
+                    failed.append((index, None, error))
+            state.emit()
+        return failed, []
+
+    def _run_pool(self, fn, items, n_procs, state, restored, journal):
+        config = self.config
+        chunksize = config.chunksize or max(1, math.ceil(len(items) / (n_procs * 4)))
+        results: list = [None] * len(items)
+        for index, value in restored.items():
+            results[index] = value
+        pending: list[tuple[int, Any]] = [
+            (index, item) for index, item in enumerate(items) if index not in restored
+        ]
+        attempt = 1
+        pool = self._ensure_pool(n_procs)
+        while True:
+            failed, missing = self._collect_round(
+                pool, fn, pending, chunksize, config.chunk_timeout, results, state, journal
+            )
+            if missing:
+                # The pool stopped producing results: mark everything still
+                # outstanding (including this round's raise-failures, which
+                # can no longer be retried) and tear the pool down so hung
+                # workers cannot block interpreter exit. The session marks
+                # the pool dead; the next run creates a fresh one.
+                for index, _, (error, tb) in failed:
+                    results[index] = TaskFailure(index, error, tb, attempt)
+                    state.failed += 1
+                for index, _ in missing:
+                    results[index] = TaskFailure(
+                        index,
+                        f"no result within chunk_timeout={config.chunk_timeout:g}s",
+                        attempts=attempt,
+                        timed_out=True,
+                    )
+                    state.failed += 1
+                state.emit()
+                self._discard_pool()
+                return results
+            if failed and attempt <= config.max_retries:
+                state.retried += len(failed)
+                pending = [(index, items[index]) for index, _, _ in failed]
+                attempt += 1
+                continue
+            for index, _, (error, tb) in failed:
+                if config.on_error == "raise":
+                    raise TaskError(index, items[index], error, tb, attempt)
+                results[index] = TaskFailure(index, error, tb, attempt)
+                state.failed += 1
+            if failed:
+                state.emit()
+            return results
+
+
 def run_tasks(
     fn: Callable[[T], R],
     items: "Sequence[T] | Iterable[T]",
@@ -221,10 +498,11 @@ def run_tasks(
 ) -> "list[R | TaskFailure]":
     """Map ``fn`` over ``items`` under the engine's fault-tolerance policy.
 
-    Results keep the order of ``items``. With one worker (or one item) the
-    map runs in-process after calling ``initializer`` locally -- the same
-    code path the pool workers execute, so serial and parallel runs of
-    deterministic tasks are bit-identical.
+    A one-shot :class:`EngineSession`: the pool (if any) lives for exactly
+    this call. Results keep the order of ``items``. With one worker (or one
+    item) the map runs in-process after calling ``initializer`` locally --
+    the same code path the pool workers execute, so serial and parallel
+    runs of deterministic tasks are bit-identical.
 
     ``journal`` enables crash-safe resume: completed task indices found in
     ``journal.completed_tasks()`` are restored into their result slots
@@ -241,162 +519,5 @@ def run_tasks(
     warming the domain-adaptation weight store so workers load checkpoints
     instead of re-adapting.
     """
-    config = config or EngineConfig()
-    items = list(items)
-    state = _RunState(len(items), progress)
-    restored: dict[int, Any] = {}
-    if journal is not None:
-        restored = {
-            index: value
-            for index, value in journal.completed_tasks().items()
-            if 0 <= index < len(items)
-        }
-        state.skipped = len(restored)
-    n_procs = resolve_processes(config.processes)
-    telemetry = get_telemetry()
-    with telemetry.tracer.span(
-        "engine.run_tasks", tasks=len(items), processes=n_procs, restored=len(restored)
-    ):
-        if pre_pass is not None and len(restored) < len(items):
-            with telemetry.tracer.span("engine.pre_pass"):
-                pre_pass()
-        if n_procs <= 1 or len(items) - len(restored) <= 1:
-            results = _run_serial(
-                fn, items, config, initializer, initargs, state, restored, journal
-            )
-        else:
-            results = _run_pool(
-                fn, items, config, initializer, initargs, n_procs, state, restored, journal
-            )
-    # One unified channel for the engine's operational counters: the same
-    # numbers the Progress callback streams, absorbed into the metrics
-    # registry once per run_tasks call.
-    metrics = telemetry.metrics
-    if metrics.enabled:
-        metrics.counter("engine.completed").inc(state.completed)
-        metrics.counter("engine.failed").inc(state.failed)
-        metrics.counter("engine.retried").inc(state.retried)
-        metrics.counter("engine.skipped").inc(state.skipped)
-        metrics.counter("engine.timed_out").inc(
-            sum(1 for r in results if isinstance(r, TaskFailure) and r.timed_out)
-        )
-    return results
-
-
-def _run_serial(fn, items, config, initializer, initargs, state, restored, journal):
-    pending = [index for index in range(len(items)) if index not in restored]
-    if pending and initializer is not None:
-        initializer(*initargs)
-    results: list = [None] * len(items)
-    for index, value in restored.items():
-        results[index] = value
-    for index in pending:
-        item = items[index]
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                faults.fault_point("engine.task")
-                results[index] = fn(item)
-                state.completed += 1
-                if journal is not None:
-                    journal.record_task(index, results[index])
-                break
-            except Exception as exc:
-                if attempts <= config.max_retries:
-                    state.retried += 1
-                    continue
-                if config.on_error == "raise":
-                    raise TaskError(
-                        index, item, _describe(exc), traceback.format_exc(), attempts
-                    ) from exc
-                results[index] = TaskFailure(
-                    index, _describe(exc), traceback.format_exc(), attempts
-                )
-                state.failed += 1
-                break
-        state.emit()
-    if not pending:
-        state.emit()
-    return results
-
-
-def _collect_round(pool, pending, chunksize, timeout, results, state, journal):
-    """Submit ``pending`` tasks and collect one round of chunk results.
-
-    Returns ``(failed, missing)``: tasks whose function raised (retry
-    candidates, with their error records) and tasks whose chunks never came
-    back before ``timeout`` (only non-empty when the timeout guard fired).
-    Successful results are journaled the moment their chunk arrives, so a
-    crash loses at most the chunks still in flight.
-    """
-    chunks = [pending[i : i + chunksize] for i in range(0, len(pending), chunksize)]
-    failed: list[tuple[int, Any, tuple[str, str]]] = []
-    done: set[int] = set()
-    iterator = pool.imap_unordered(_run_chunk, chunks)
-    for _ in range(len(chunks)):
-        try:
-            records = iterator.next(timeout) if timeout is not None else next(iterator)
-        except multiprocessing.TimeoutError:
-            missing = [(index, item) for index, item in pending if index not in done]
-            return failed, missing
-        for index, ok, value, error in records:
-            done.add(index)
-            if ok:
-                results[index] = value
-                state.completed += 1
-                if journal is not None:
-                    journal.record_task(index, value)
-            else:
-                failed.append((index, None, error))
-        state.emit()
-    return failed, []
-
-
-def _run_pool(fn, items, config, initializer, initargs, n_procs, state, restored, journal):
-    chunksize = config.chunksize or max(1, math.ceil(len(items) / (n_procs * 4)))
-    ctx = pool_context(config.start_method)
-    results: list = [None] * len(items)
-    for index, value in restored.items():
-        results[index] = value
-    pending: list[tuple[int, Any]] = [
-        (index, item) for index, item in enumerate(items) if index not in restored
-    ]
-    attempt = 1
-    with ctx.Pool(n_procs, initializer=_init_engine_worker, initargs=(fn, initializer, initargs)) as pool:
-        while True:
-            failed, missing = _collect_round(
-                pool, pending, chunksize, config.chunk_timeout, results, state, journal
-            )
-            if missing:
-                # The pool stopped producing results: mark everything still
-                # outstanding (including this round's raise-failures, which
-                # can no longer be retried) and tear the pool down so hung
-                # workers cannot block interpreter exit.
-                for index, _, (error, tb) in failed:
-                    results[index] = TaskFailure(index, error, tb, attempt)
-                    state.failed += 1
-                for index, _ in missing:
-                    results[index] = TaskFailure(
-                        index,
-                        f"no result within chunk_timeout={config.chunk_timeout:g}s",
-                        attempts=attempt,
-                        timed_out=True,
-                    )
-                    state.failed += 1
-                state.emit()
-                pool.terminate()
-                return results
-            if failed and attempt <= config.max_retries:
-                state.retried += len(failed)
-                pending = [(index, items[index]) for index, _, _ in failed]
-                attempt += 1
-                continue
-            for index, _, (error, tb) in failed:
-                if config.on_error == "raise":
-                    raise TaskError(index, items[index], error, tb, attempt)
-                results[index] = TaskFailure(index, error, tb, attempt)
-                state.failed += 1
-            if failed:
-                state.emit()
-            return results
+    with EngineSession(config, initializer=initializer, initargs=initargs) as session:
+        return session.run(fn, items, progress=progress, journal=journal, pre_pass=pre_pass)

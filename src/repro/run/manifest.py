@@ -25,6 +25,12 @@ losing any completed work and without perturbing the results:
     the engine task returned -- they already crossed a process boundary via
     pickle in pool mode, so picklability is guaranteed by construction.
 
+``tenants/<name>/``
+    Optional per-tenant sub-journals (see :meth:`RunManifest.sub_manifest`):
+    full child run directories sharing the parent's run identity, used by
+    the modeling service to give every tenant its own audit trail under one
+    service run dir.
+
 Determinism contract: tasks carry pre-spawned per-index RNG streams (see
 :mod:`repro.util.seeding`), so a resumed run replays journaled results
 verbatim and recomputes exactly the missing indices with exactly the
@@ -50,11 +56,29 @@ from repro.util.artifacts import atomic_write_bytes, atomic_write_json, sha256_b
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
 TASKS_DIR = "tasks"
+TENANTS_DIR = "tenants"
 _MANIFEST_VERSION = 1
 
 
 class RunManifestError(RuntimeError):
     """A run directory cannot be created, loaded, or safely resumed."""
+
+
+def _safe_component(name: str) -> str:
+    """Sanitize an externally-supplied name into a filesystem path component.
+
+    Tenant names arrive over the wire; ``../`` traversal, separators, and
+    other shell-hostile characters are replaced. When anything had to be
+    replaced the result is suffixed with a short hash of the original so
+    distinct hostile names cannot collide onto one directory.
+    """
+    text = str(name)
+    safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in text) or "_"
+    if safe.startswith("."):
+        safe = "_" + safe[1:]
+    if safe != text:
+        safe = f"{safe}-{hashlib.sha256(text.encode()).hexdigest()[:8]}"
+    return safe
 
 
 def config_fingerprint(*parts) -> str:
@@ -321,6 +345,53 @@ class RunManifest:
             for record in self._records()
             if record.get("type") == "artifact"
         }
+
+    # --------------------------------------------------------- sub-manifests
+    def sub_manifest(
+        self, name: str, meta: "dict | None" = None, payload_validator=None
+    ) -> "RunManifest":
+        """Open (or create) a named sub-journal under this run directory.
+
+        Sub-manifests give one long-lived service run a per-tenant audit
+        trail: each lives in ``tenants/<name>/`` with its own manifest,
+        journal, and task payloads, but shares the parent's run identity --
+        the parent ``run_id`` and the tenant name are recorded in the
+        child's meta, and re-opening verifies them so a stale directory
+        from a different run is refused rather than silently appended to.
+
+        ``name`` is sanitized into a safe path component (collision-proofed
+        with a short hash when characters had to be replaced); two calls
+        with the same name re-enter the same journal.
+        """
+        safe = _safe_component(name)
+        directory = self.directory / TENANTS_DIR / safe
+        if (directory / MANIFEST_NAME).exists():
+            child = RunManifest.load(directory, payload_validator)
+            if child.meta.get("parent_run_id") != self.run_id:
+                raise RunManifestError(
+                    f"sub-manifest {directory} belongs to run "
+                    f"{child.meta.get('parent_run_id')!r}, not {self.run_id!r}: "
+                    "refusing to mix journals across runs"
+                )
+            return child
+        child_meta = {"parent_run_id": self.run_id, "tenant": str(name)}
+        child_meta.update(meta or {})
+        return RunManifest.create(
+            directory, self.config_hash, child_meta, payload_validator
+        )
+
+    def sub_manifests(self) -> "dict[str, RunManifest]":
+        """All existing sub-manifests, keyed by their recorded tenant name."""
+        root = self.directory / TENANTS_DIR
+        if not root.is_dir():
+            return {}
+        out: dict[str, RunManifest] = {}
+        for child_dir in sorted(root.iterdir()):
+            if not (child_dir / MANIFEST_NAME).exists():
+                continue
+            child = RunManifest.load(child_dir)
+            out[child.meta.get("tenant", child_dir.name)] = child
+        return out
 
     # ------------------------------------------------------------ quarantine
     def record_quarantine(

@@ -1,0 +1,187 @@
+"""Stdlib-only client for the modeling service.
+
+:class:`ServiceClient` talks ``repro.request/v1`` over either transport::
+
+    client = ServiceClient("unix:/tmp/repro.sock")     # or a bare socket path
+    client = ServiceClient("http://127.0.0.1:8642")    # localhost TCP
+
+    response = client.model(experiment, method="adaptive", seed=0)
+    for entry in response["models"]:
+        print(entry["formatted"])                      # the CLI's output line
+
+Only :mod:`http.client`, :mod:`json`, and :mod:`socket` are used, so the
+client can be vendored into measurement harnesses that must not depend on
+the modeling stack -- it never imports numpy or the repro pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.client import HTTPConnection
+
+REQUEST_SCHEMA = "repro.request/v1"
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service reply; carries the HTTP status and decoded body."""
+
+    def __init__(self, status: int, payload):
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"service returned {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceUnavailable(ServiceError):
+    """Backpressure rejection (429); retry after ``retry_after`` seconds."""
+
+    def __init__(self, status: int, payload, retry_after: float):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class _UnixHTTPConnection(HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, socket_path: str, timeout: "float | None" = None):
+        super().__init__("localhost", timeout=timeout)
+        self._socket_path = socket_path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            self.sock.settimeout(self.timeout)
+        self.sock.connect(self._socket_path)
+
+
+class ServiceClient:
+    """One service endpoint; a fresh connection is opened per call.
+
+    ``address`` is ``"unix:<path>"``, a bare socket path, or an
+    ``"http://host:port"`` URL (https is not supported -- the service binds
+    localhost or a unix socket only).
+    """
+
+    def __init__(self, address: str, timeout: float = 60.0):
+        self.address = address
+        self.timeout = timeout
+        if address.startswith("unix:"):
+            self._socket_path = address[len("unix:") :]
+            self._host_port = None
+        elif address.startswith("http://"):
+            rest = address[len("http://") :].rstrip("/")
+            host, _, port = rest.partition(":")
+            if not host or not port.isdigit():
+                raise ValueError(
+                    f"expected http://host:port, got {address!r}"
+                )
+            self._socket_path = None
+            self._host_port = (host, int(port))
+        elif address.startswith("https://"):
+            raise ValueError("https is not supported; the service is local-only")
+        else:
+            self._socket_path = address
+            self._host_port = None
+
+    # ------------------------------------------------------------------ calls
+    def model(
+        self,
+        experiment,
+        method: str = "adaptive",
+        seed: int = 0,
+        tenant: str = "default",
+        request_id: "str | None" = None,
+        keep_going: bool = False,
+        format: str = "json",
+        timeout: "float | None" = None,
+    ) -> dict:
+        """Model one measurement set; returns the response envelope.
+
+        ``experiment`` may be a ``repro`` :class:`Experiment` (serialized
+        via ``to_json_dict``), an already-serialized dict, or a raw string
+        payload in ``format`` (``json`` / ``csv`` / ``text``).
+        """
+        if isinstance(experiment, (dict, str)):
+            payload_experiment = experiment
+        else:
+            # Convenience for callers that do have the modeling stack: a
+            # repro Experiment serializes through its io module. The import
+            # is lazy so this client module stays stdlib-only.
+            try:
+                from repro.experiment.io import to_json_dict
+            except ImportError:
+                to_json_dict = None
+            if to_json_dict is None or not hasattr(experiment, "kernels"):
+                raise TypeError(
+                    "experiment must be an Experiment, dict, or string payload, "
+                    f"got {type(experiment).__name__}"
+                )
+            payload_experiment = to_json_dict(experiment)
+        body: dict = {
+            "schema": REQUEST_SCHEMA,
+            "method": method,
+            "seed": seed,
+            "tenant": tenant,
+            "keep_going": keep_going,
+            "experiment": payload_experiment,
+        }
+        if isinstance(payload_experiment, str):
+            body["format"] = format
+        if request_id is not None:
+            body["id"] = request_id
+        return self._request("POST", "/v1/model", body, timeout=timeout)
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics", decode_json=False)
+
+    # --------------------------------------------------------------- plumbing
+    def _connect(self, timeout: "float | None") -> HTTPConnection:
+        timeout = self.timeout if timeout is None else timeout
+        if self._socket_path is not None:
+            return _UnixHTTPConnection(self._socket_path, timeout=timeout)
+        host, port = self._host_port
+        return HTTPConnection(host, port, timeout=timeout)
+
+    def _request(
+        self,
+        verb: str,
+        path: str,
+        body: "dict | None" = None,
+        decode_json: bool = True,
+        timeout: "float | None" = None,
+    ):
+        conn = self._connect(timeout)
+        try:
+            data = None
+            headers = {}
+            if body is not None:
+                data = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(verb, path, body=data, headers=headers)
+            reply = conn.getresponse()
+            raw = reply.read()
+            status = reply.status
+            if status == 429:
+                retry_after = float(reply.headers.get("Retry-After", "1"))
+                raise ServiceUnavailable(status, _decode(raw), retry_after)
+            if status >= 400:
+                raise ServiceError(status, _decode(raw))
+            if not decode_json:
+                return raw.decode("utf-8")
+            return _decode(raw)
+        finally:
+            conn.close()
+
+
+def _decode(raw: bytes):
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return raw.decode("utf-8", errors="replace")

@@ -1,0 +1,194 @@
+"""Service front ends: localhost HTTP and unix-domain-socket transports.
+
+Both transports serve the same four routes over the same
+:class:`~repro.service.core.ModelingService`:
+
+* ``POST /v1/model`` -- one ``repro.request/v1`` body; blocks until the
+  response (or the service's default timeout) and returns the
+  ``repro.response/v1`` envelope. Failure mapping: invalid payload -> 400,
+  queue full -> 429 with ``Retry-After``, draining -> 503, timeout -> 504;
+  a per-request modeling failure arrives as a 422 response envelope.
+* ``GET /healthz`` -- liveness + queue/served/rejected snapshot (JSON).
+* ``GET /metrics`` -- live Prometheus-style text exposition.
+* ``GET /stats``  -- alias of ``/healthz`` for tooling symmetry.
+
+Everything is stdlib (``http.server`` + ``socket``): the servers are
+thread-per-connection (``ThreadingHTTPServer``), and handler threads only
+ever call :meth:`~repro.service.core.ModelingService.submit`/``wait`` --
+the service's dispatcher thread owns all engine work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.core import ModelingService, ServiceBusy, ServiceClosed
+from repro.service.schema import RequestError, error_response
+
+#: Largest accepted request body (a guard against runaway uploads).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes one connection's requests onto the shared service core."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-model-serve/1"
+
+    @property
+    def service(self) -> ModelingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # BaseHTTPRequestHandler formats client_address[0] into log lines; over
+    # AF_UNIX the peer address is '' (no indexable host), so both logging
+    # and error paths would crash without this.
+    def address_string(self) -> str:
+        if isinstance(self.client_address, (tuple, list)) and self.client_address:
+            return str(self.client_address[0])
+        return "unix"
+
+    def log_message(self, format: str, *args) -> None:
+        # Request logging stays out of stdout/stderr; the service's
+        # telemetry session is the observability channel.
+        return None
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:
+        if self.path in ("/healthz", "/stats"):
+            self._send_json(200, self.service.healthz())
+        elif self.path == "/metrics":
+            body = self.service.metrics_text().encode("utf-8")
+            self._send_bytes(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        else:
+            self._send_json(404, {"error": f"no such route: {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/v1/model":
+            self._send_json(404, {"error": f"no such route: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json(400, {"error": "invalid Content-Length header"})
+            return
+        if length <= 0:
+            self._send_json(400, {"error": "request body is required"})
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_json(
+                413, {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"}
+            )
+            return
+        body = self.rfile.read(length)
+        try:
+            pending = self.service.submit(body)
+        except RequestError as err:
+            self._send_json(400, error_response(None, str(err), 400))
+            return
+        except ServiceBusy as err:
+            self._send_json(
+                429,
+                error_response(None, str(err), 429),
+                extra_headers={"Retry-After": f"{err.retry_after:g}"},
+            )
+            return
+        except ServiceClosed as err:
+            self._send_json(503, error_response(None, str(err), 503))
+            return
+        try:
+            response = pending.wait(self.service.config.default_timeout_s)
+        except TimeoutError as err:
+            self._send_json(
+                504, error_response(pending.request.request_id, str(err), 504)
+            )
+            return
+        self._send_json(int(response.get("status", 200)), response)
+
+    # -------------------------------------------------------------- plumbing
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: "dict[str, str] | None" = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(status, body, "application/json", extra_headers)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: "dict[str, str] | None" = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class LocalHTTPServer(ThreadingHTTPServer):
+    """TCP front end bound to localhost."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: "tuple[str, int]", service: ModelingService):
+        self.service = service
+        super().__init__(address, ServiceHandler)
+
+
+class UnixHTTPServer(ThreadingHTTPServer):
+    """HTTP over a unix domain socket.
+
+    ``HTTPServer.server_bind`` unpacks ``server_address`` as ``(host,
+    port)``, which a socket path is not -- so binding is reimplemented here
+    (stale socket files from a previous run are unlinked first).
+    """
+
+    daemon_threads = True
+    address_family = socket.AF_UNIX
+
+    def __init__(self, socket_path: "str | os.PathLike", service: ModelingService):
+        self.service = service
+        super().__init__(str(socket_path), ServiceHandler)
+
+    def server_bind(self) -> None:
+        path = self.server_address
+        if os.path.exists(path):
+            os.unlink(path)
+        self.socket.bind(path)
+        self.server_name = path
+        self.server_port = 0
+
+    def server_close(self) -> None:
+        super().server_close()
+        try:
+            os.unlink(self.server_address)
+        except OSError:
+            pass
+
+
+def serve_unix(service: ModelingService, socket_path: "str | os.PathLike") -> UnixHTTPServer:
+    """Bind the service to a unix socket; caller drives ``serve_forever``."""
+    return UnixHTTPServer(socket_path, service)
+
+
+def serve_http(
+    service: ModelingService, host: str = "127.0.0.1", port: int = 0
+) -> LocalHTTPServer:
+    """Bind the service to localhost TCP; ``port=0`` picks a free port."""
+    return LocalHTTPServer((host, port), service)
+
+
+def start_server(server: ThreadingHTTPServer) -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests and the CLI use it)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return thread

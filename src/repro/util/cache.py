@@ -5,10 +5,16 @@ memoization grows memory for the lifetime of the process. This cache keeps
 the most recently used entries, evicts the oldest beyond ``maxsize``, and
 counts hits/misses/evictions so the sweep timing report can show whether a
 cache is earning its memory.
+
+The cache is thread-safe: a single internal lock guards every operation,
+counters included. The modeling service shares modeler encoding/candidate
+caches across request-handler threads, where the unguarded ``pop``/insert
+recency dance would otherwise lose entries or double-count.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Hashable
 
 
@@ -20,60 +26,85 @@ class LRUCache:
     ``dict`` can be swapped in transparently where boundedness is not
     needed. ``get`` counts a hit or miss and refreshes recency;
     ``__contains__`` is a pure peek and affects neither.
+
+    All operations take the cache's single internal lock, so concurrent
+    readers/writers see consistent entries and counters (individual
+    operations are atomic; check-then-set sequences are not).
     """
 
     def __init__(self, maxsize: int = 128):
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
+        self._lock = threading.RLock()
         self._data: dict[Hashable, Any] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        if key in self._data:
-            value = self._data.pop(key)
-            self._data[key] = value  # re-insert = most recently used
-            self.hits += 1
-            return value
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._data:
+                value = self._data.pop(key)
+                self._data[key] = value  # re-insert = most recently used
+                self.hits += 1
+                return value
+            self.misses += 1
+            return default
 
     def __setitem__(self, key: Hashable, value: Any) -> None:
-        if key in self._data:
-            del self._data[key]
-        elif len(self._data) >= self.maxsize:
-            oldest = next(iter(self._data))
-            del self._data[oldest]
-            self.evictions += 1
-        self._data[key] = value
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+            elif len(self._data) >= self.maxsize:
+                oldest = next(iter(self._data))
+                del self._data[oldest]
+                self.evictions += 1
+            self._data[key] = value
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters plus current occupancy."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
 
     def __repr__(self) -> str:
-        return (
-            f"LRUCache(maxsize={self.maxsize}, size={len(self._data)}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        with self._lock:
+            return (
+                f"LRUCache(maxsize={self.maxsize}, size={len(self._data)}, "
+                f"hits={self.hits}, misses={self.misses})"
+            )
+
+    # Caches ride inside modelers pickled to worker processes (engine
+    # initargs); locks are not picklable, so they are dropped on the way
+    # out and recreated fresh in the receiving process.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()

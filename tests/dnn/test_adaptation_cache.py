@@ -8,6 +8,8 @@ rerun adapts only the missing clusters and still matches the uninterrupted
 weights exactly, because every cluster keeps its own key-derived stream.
 """
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -150,6 +152,92 @@ class TestCrashSafety:
             assert (
                 store.load(tiny_network, key).weights_digest()
                 == reference.load(tiny_network, key).weights_digest()
+            )
+
+
+def _concurrent_warmer(run_dir, store_dir, network, barrier, out) -> None:
+    """Child-process body: warm and read the shared store simultaneously."""
+    manifest = RunManifest.load(run_dir)
+    store = AdaptationStore(store_dir, resolution=0.05, samples_per_class=SPC)
+    keys = [_key(), _key(noise=(0.3, 0.4))]
+    barrier.wait()  # maximize overlap: both processes start together
+    counts = store.warm_up(network, keys, manifest=manifest)
+    digests = {}
+    for key in keys:
+        loaded = store.load(network, key)
+        digests[key.fingerprint] = None if loaded is None else loaded.weights_digest()
+    out.put({"counts": counts, "digests": digests})
+
+
+class TestConcurrentAccess:
+    def test_two_processes_share_one_store_without_corruption(
+        self, tmp_path, tiny_network
+    ):
+        """Two processes warming/reading the same on-disk store concurrently.
+
+        Both may adapt the same missing cluster at once; saves are atomic
+        and deterministic, so the race must resolve to bit-identical
+        checkpoints (equal to a serial reference), and the shared manifest
+        must end up with exactly one artifact entry per cluster, each
+        checksum matching the file on disk -- concurrent registration must
+        not double-count or dangle.
+        """
+        keys = [_key(), _key(noise=(0.3, 0.4))]
+        reference = _store(tmp_path / "ref")
+        reference.warm_up(tiny_network, keys)
+        expected = {
+            key.fingerprint: reference.load(tiny_network, key).weights_digest()
+            for key in keys
+        }
+
+        run_dir = tmp_path / "run"
+        RunManifest.open(run_dir, config_fingerprint("concurrent-adapt"))
+        store_dir = run_dir / "adaptation"
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_concurrent_warmer,
+                args=(run_dir, store_dir, tiny_network, barrier, out),
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        results = [out.get(timeout=120) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+
+        # Every process saw complete, uncorrupted entries for every cluster.
+        for result in results:
+            assert result["counts"]["clusters"] == len(keys)
+            assert (
+                result["counts"]["adapted"] + result["counts"]["skipped"] == len(keys)
+            )
+            assert result["digests"] == expected
+        # Someone did the adaptation work at least once.
+        assert sum(r["counts"]["adapted"] for r in results) >= len(keys)
+
+        # The shared journal survived concurrent appends: it reloads, holds
+        # exactly one artifact per cluster, and every checksum matches the
+        # checkpoint on disk.
+        manifest = RunManifest.load(run_dir)
+        artifacts = manifest.artifacts()
+        adaptation_names = {n for n in artifacts if n.startswith("adaptation/")}
+        assert adaptation_names == {f"adaptation/{key.fingerprint}" for key in keys}
+        from repro.util.artifacts import sha256_file
+
+        for name in adaptation_names:
+            entry = artifacts[name]
+            assert entry["sha256"] == sha256_file(run_dir / entry["file"])
+        # The store stays bit-identical to the serial reference afterwards.
+        shared = AdaptationStore(store_dir, resolution=0.05, samples_per_class=SPC)
+        for key in keys:
+            assert (
+                shared.load(tiny_network, key).weights_digest()
+                == expected[key.fingerprint]
             )
 
 

@@ -155,3 +155,43 @@ class TestFixedLayout:
         np.testing.assert_array_equal(
             a.cell(0.2, "regression").distances, b.cell(0.2, "regression").distances
         )
+
+
+class TestSessionReuse:
+    def test_warm_session_sweeps_match_one_shots(self):
+        """Repeated sweeps on one warm session == fresh-engine sweeps."""
+        from repro.evaluation.sweep import sweep_session
+
+        config = SweepConfig(n_params=1, noise_levels=(0.2,), n_functions=4)
+        modelers = {"regression": RegressionModeler()}
+        with sweep_session(config, modelers, processes=1) as session:
+            warm_a = run_sweep(config, modelers, rng=3, session=session)
+            warm_b = run_sweep(config, modelers, rng=3, session=session)
+        one_shot = run_sweep(config, modelers, rng=3)
+        for result in (warm_a, warm_b):
+            np.testing.assert_array_equal(
+                result.cell(0.2, "regression").distances,
+                one_shot.cell(0.2, "regression").distances,
+            )
+
+    def test_session_for_different_config_is_rejected(self):
+        from repro.evaluation.sweep import sweep_session
+
+        config = SweepConfig(n_params=1, noise_levels=(0.2,), n_functions=4)
+        other = SweepConfig(n_params=1, noise_levels=(0.5,), n_functions=4)
+        modelers = {"regression": RegressionModeler()}
+        with sweep_session(other, modelers, processes=1) as session:
+            with pytest.raises(ValueError, match="different SweepConfig"):
+                run_sweep(config, modelers, rng=0, session=session)
+
+    def test_session_excludes_engine_overrides(self):
+        from repro.evaluation.sweep import sweep_session
+        from repro.parallel.engine import EngineConfig
+
+        config = SweepConfig(n_params=1, noise_levels=(0.2,), n_functions=4)
+        modelers = {"regression": RegressionModeler()}
+        with sweep_session(config, modelers, processes=1) as session:
+            with pytest.raises(ValueError, match="mutually exclusive"):
+                run_sweep(
+                    config, modelers, rng=0, session=session, engine=EngineConfig()
+                )

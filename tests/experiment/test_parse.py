@@ -1,0 +1,133 @@
+"""``parse_experiment``: the in-memory core behind ``load_experiment``.
+
+The extraction contract: parsing a payload directly is bit-identical to
+writing it to a file and loading it -- same experiments, same quarantine
+records, same error messages up to the source label.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiment.io import (
+    ExperimentFormatError,
+    load_experiment,
+    parse_experiment,
+    save_csv,
+    save_json,
+    save_text,
+    to_json_dict,
+)
+
+
+def _assert_same_experiment(a, b):
+    assert list(a.parameters) == list(b.parameters)
+    assert [k.name for k in a.kernels] == [k.name for k in b.kernels]
+    for ka, kb in zip(a.kernels, b.kernels):
+        for ma, mb in zip(ka.measurements, kb.measurements):
+            np.testing.assert_array_equal(ma.values, mb.values)
+
+
+class TestPayloadKinds:
+    def test_dict_payload_matches_file_load(self, tmp_path, clean_experiment_1p):
+        path = tmp_path / "exp.json"
+        save_json(clean_experiment_1p, path)
+        from_file, _ = load_experiment(path)
+        from_dict, _ = parse_experiment(to_json_dict(clean_experiment_1p))
+        _assert_same_experiment(from_file, from_dict)
+
+    def test_json_text_payload(self, clean_experiment_1p):
+        text = json.dumps(to_json_dict(clean_experiment_1p))
+        parsed, quarantined = parse_experiment(text, format="json")
+        _assert_same_experiment(parsed, clean_experiment_1p)
+        assert quarantined == []
+
+    def test_bytes_payload(self, clean_experiment_1p):
+        blob = json.dumps(to_json_dict(clean_experiment_1p)).encode("utf-8")
+        parsed, _ = parse_experiment(blob)
+        _assert_same_experiment(parsed, clean_experiment_1p)
+
+    def test_csv_text_payload_matches_file_load(self, tmp_path, clean_experiment_1p):
+        path = tmp_path / "exp.csv"
+        save_csv(clean_experiment_1p, path)
+        from_file, _ = load_experiment(path)
+        parsed, _ = parse_experiment(path.read_text(), format="csv")
+        _assert_same_experiment(from_file, parsed)
+
+    def test_text_format_payload_matches_file_load(self, tmp_path, clean_experiment_1p):
+        path = tmp_path / "exp.txt"
+        save_text(clean_experiment_1p, path)
+        from_file, _ = load_experiment(path)
+        parsed, _ = parse_experiment(path.read_text(), format="text")
+        _assert_same_experiment(from_file, parsed)
+
+    def test_invalid_utf8_bytes(self):
+        with pytest.raises(ExperimentFormatError, match="not valid UTF-8"):
+            parse_experiment(b"\xff\xfe nope")
+
+    def test_unknown_format_and_bad_type(self):
+        with pytest.raises(ValueError, match="unknown experiment format"):
+            parse_experiment("whatever", format="yaml")
+        with pytest.raises(TypeError, match="must be a dict, str, or bytes"):
+            parse_experiment(42)
+
+
+class TestErrorParity:
+    def test_error_message_matches_file_load_up_to_source(
+        self, tmp_path, clean_experiment_1p
+    ):
+        """The quarantine/validation errors are bit-identical between the
+        path and payload entries, differing only in the source label."""
+        broken = to_json_dict(clean_experiment_1p)
+        broken["kernels"][0]["measurements"][0]["values"] = [1.0, float("nan"), 2.0]
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(broken))
+
+        with pytest.raises(ExperimentFormatError) as from_file:
+            load_experiment(path)
+        with pytest.raises(ExperimentFormatError) as from_payload:
+            parse_experiment(broken, source=str(path))
+        assert str(from_file.value) == str(from_payload.value)
+
+    def test_default_source_label(self, clean_experiment_1p):
+        broken = to_json_dict(clean_experiment_1p)
+        del broken["parameters"]
+        with pytest.raises(ExperimentFormatError, match="<payload>"):
+            parse_experiment(broken)
+
+    def test_custom_source_label_in_errors(self):
+        with pytest.raises(ExperimentFormatError, match="request req-1"):
+            parse_experiment("{broken", source="request req-1")
+
+
+class TestQuarantineParity:
+    def _tainted(self, exp):
+        data = to_json_dict(exp)
+        good = json.loads(json.dumps(data["kernels"][0]))
+        good["name"] = "good"
+        data["kernels"][0]["measurements"][0]["values"] = [-1.0, 2.0, 3.0]
+        data["kernels"].append(good)
+        return data
+
+    def test_keep_going_quarantines_like_load(self, tmp_path, clean_experiment_1p):
+        data = self._tainted(clean_experiment_1p)
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(data))
+        file_exp, file_q = load_experiment(path, keep_going=True)
+        payload_exp, payload_q = parse_experiment(
+            data, source=str(path), keep_going=True
+        )
+        _assert_same_experiment(file_exp, payload_exp)
+        assert [(r.kernel, r.reason, r.location) for r in file_q] == [
+            (r.kernel, r.reason, r.location) for r in payload_q
+        ]
+
+    def test_quarantine_records_into_manifest(self, tmp_path, clean_experiment_1p):
+        from repro.run.manifest import RunManifest, config_fingerprint
+
+        manifest = RunManifest.open(tmp_path / "run", config_fingerprint("parse"))
+        data = self._tainted(clean_experiment_1p)
+        _, quarantined = parse_experiment(data, keep_going=True, manifest=manifest)
+        assert len(quarantined) == 1
+        assert len(manifest.quarantined()) == 1

@@ -1,0 +1,133 @@
+"""``EngineSession``: warm reuse with the one-shot determinism contract.
+
+A session serving many ``run`` calls must behave exactly like a fresh
+``run_tasks`` per call -- same results in task order -- while keeping its
+worker pool (and whatever the initializer warmed there) alive between
+calls. These tests run with small inline functions; the modeling-level
+reuse (sweeps, the service) is covered by their own suites.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel.engine import EngineConfig, EngineSession, run_tasks
+
+_STATE = {}
+
+
+def _init(tag):
+    _STATE["tag"] = tag
+    _STATE["inits"] = _STATE.get("inits", 0) + 1
+
+
+def _square(x):
+    return x * x
+
+
+def _cube(x):
+    return x**3
+
+
+def _tagged(x):
+    return (_STATE.get("tag"), x)
+
+
+def _pid(_):
+    return os.getpid()
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    _STATE.clear()
+    yield
+    _STATE.clear()
+
+
+class TestReuse:
+    def test_two_runs_match_two_one_shots(self):
+        config = EngineConfig(processes=1)
+        with EngineSession(config) as session:
+            first = session.run(_square, [1, 2, 3])
+            second = session.run(_cube, [2, 3])
+        assert first == run_tasks(_square, [1, 2, 3], config=config)
+        assert second == run_tasks(_cube, [2, 3], config=config)
+
+    def test_function_travels_per_run_not_per_worker(self):
+        """One session serves runs with *different* functions."""
+        with EngineSession(EngineConfig(processes=2)) as session:
+            assert session.run(_square, [2, 4]) == [4, 16]
+            assert session.run(_cube, [2, 4]) == [8, 64]
+
+    def test_initializer_runs_once_per_session_serial(self):
+        with EngineSession(
+            EngineConfig(processes=1), initializer=_init, initargs=("warm",)
+        ) as session:
+            assert session.run(_tagged, [1]) == [("warm", 1)]
+            assert session.run(_tagged, [2]) == [("warm", 2)]
+        assert _STATE["inits"] == 1
+
+    def test_pool_persists_across_runs(self):
+        with EngineSession(EngineConfig(processes=2)) as session:
+            assert not session.pool_alive
+            pids_a = set(session.run(_pid, [0, 1, 2, 3]))
+            assert session.pool_alive
+            pool = session._pool
+            pool_pids = {worker.pid for worker in pool._pool}
+            pids_b = set(session.run(_pid, [0, 1, 2, 3]))
+            # The same pool object (and its warm processes) served both
+            # runs: no respawn between calls.
+            assert session._pool is pool
+            assert pids_a <= pool_pids and pids_b <= pool_pids
+        assert os.getpid() not in pids_a
+
+    def test_warm_up_creates_pool_eagerly(self):
+        session = EngineSession(EngineConfig(processes=2))
+        session.warm_up()
+        assert session.pool_alive
+        session.close()
+        assert not session.pool_alive
+
+    def test_warm_pool_serves_single_item_runs(self):
+        """A warm session routes even one-item runs through the pool --
+        that is the service's request path."""
+        with EngineSession(EngineConfig(processes=2)) as session:
+            session.warm_up()
+            [pid] = session.run(_pid, [0])
+        assert pid != os.getpid()
+
+    def test_closed_session_refuses_to_run(self):
+        session = EngineSession(EngineConfig(processes=1))
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run(_square, [1])
+
+    def test_close_is_idempotent(self):
+        session = EngineSession(EngineConfig(processes=2))
+        session.warm_up()
+        session.close()
+        session.close()
+
+
+class TestTimeoutRecovery:
+    def test_timeout_discards_pool_for_transparent_recreation(self):
+        import time
+
+        config = EngineConfig(processes=2, chunk_timeout=0.2, max_retries=0, on_error="mark")
+        with EngineSession(config) as session:
+            session.warm_up()
+            first_pool = session._pool
+            marked = session.run(_sleep_forever, [0, 1])
+            from repro.parallel.engine import TaskFailure
+
+            assert all(isinstance(r, TaskFailure) for r in marked)
+            assert not session.pool_alive  # the hung pool was torn down
+            # The next run transparently gets a fresh pool and works.
+            assert session.run(_square, [3]) == [9]
+            assert session._pool is not first_pool
+
+
+def _sleep_forever(_):
+    import time
+
+    time.sleep(60)

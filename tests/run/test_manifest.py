@@ -188,3 +188,70 @@ class TestQuarantine:
         assert records[0]["location"] == "exp.txt:12"
         # Quarantine records do not pollute the task replay.
         assert manifest.completed_tasks() == {}
+
+
+class TestSubManifests:
+    def _parent(self, tmp_path):
+        return RunManifest.open(tmp_path / "run", config_fingerprint("svc"))
+
+    def test_create_and_reenter_same_journal(self, tmp_path):
+        parent = self._parent(tmp_path)
+        child = parent.sub_manifest("team-a")
+        child.record_task(0, {"id": "a-1"})
+        again = parent.sub_manifest("team-a")
+        assert again.run_id == child.run_id
+        assert again.completed_tasks() == {0: {"id": "a-1"}}
+        again.record_task(1, {"id": "a-2"})
+        assert sorted(child.completed_tasks()) == [0, 1]
+
+    def test_child_records_parent_identity(self, tmp_path):
+        parent = self._parent(tmp_path)
+        child = parent.sub_manifest("team-a", meta={"kind": "service-tenant"})
+        assert child.meta["parent_run_id"] == parent.run_id
+        assert child.meta["tenant"] == "team-a"
+        assert child.meta["kind"] == "service-tenant"
+        assert child.config_hash == parent.config_hash
+        assert child.directory == parent.directory / "tenants" / "team-a"
+
+    def test_refuses_stale_child_from_another_run(self, tmp_path):
+        first = self._parent(tmp_path)
+        first.sub_manifest("team-a")
+        # A new parent run in a *different* directory whose tenants/ dir is
+        # transplanted from the first run (e.g. a copied run dir).
+        second = RunManifest.open(tmp_path / "other", config_fingerprint("svc"))
+        import shutil
+
+        shutil.copytree(
+            first.directory / "tenants", second.directory / "tenants"
+        )
+        with pytest.raises(RunManifestError, match="refusing to mix journals"):
+            second.sub_manifest("team-a")
+
+    def test_hostile_names_are_sanitized_without_traversal(self, tmp_path):
+        parent = self._parent(tmp_path)
+        child = parent.sub_manifest("../../evil")
+        resolved = child.directory.resolve()
+        tenants = (parent.directory / "tenants").resolve()
+        assert tenants in resolved.parents, "traversal must stay inside tenants/"
+        assert resolved.parent == tenants  # exactly one component deep
+        assert "/" not in child.directory.name and child.directory.name != ".."
+
+    def test_distinct_hostile_names_do_not_collide(self, tmp_path):
+        parent = self._parent(tmp_path)
+        a = parent.sub_manifest("a/b")
+        b = parent.sub_manifest("a.b")
+        c = parent.sub_manifest("a:b")
+        assert len({a.directory, b.directory, c.directory}) == 3
+
+    def test_sub_manifests_listing_keyed_by_tenant(self, tmp_path):
+        parent = self._parent(tmp_path)
+        parent.sub_manifest("team-a")
+        parent.sub_manifest("team/b")  # sanitized on disk, original in meta
+        reloaded = RunManifest.load(parent.directory)
+        children = reloaded.sub_manifests()
+        assert sorted(children) == ["team-a", "team/b"]
+        assert children["team-a"].meta["parent_run_id"] == parent.run_id
+
+    def test_no_tenants_dir_lists_empty(self, tmp_path):
+        parent = self._parent(tmp_path)
+        assert parent.sub_manifests() == {}

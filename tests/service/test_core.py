@@ -1,0 +1,301 @@
+"""The service core: batching, backpressure, drain, journals, bit-identity.
+
+The load-bearing contract: a request served through the long-lived service
+-- warm modeler caches, coalesced batches, reused engine session -- returns
+exactly the models the one-shot batch path (``repro-model model``) produces
+for the same experiment, method, and seed.
+"""
+
+import threading
+
+import pytest
+
+from repro.modeling.registry import create_modeler
+from repro.experiment.io import to_json_dict
+from repro.run.manifest import RunManifest
+from repro.service.core import (
+    _SERVICE_STATE,
+    ModelingService,
+    ServiceBusy,
+    ServiceClosed,
+    ServiceConfig,
+)
+from repro.service.schema import REQUEST_SCHEMA, RequestError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_state():
+    """Isolate the per-process modeler cache between tests."""
+    _SERVICE_STATE.clear()
+    yield
+    _SERVICE_STATE.clear()
+
+
+def _payload(exp, **overrides):
+    body = {
+        "schema": REQUEST_SCHEMA,
+        "method": "regression",
+        "seed": 0,
+        "experiment": to_json_dict(exp),
+    }
+    body.update(overrides)
+    return body
+
+
+def _batch_path_lines(exp, method="regression", seed=0, modeler=None):
+    """What ``repro-model model`` prints: the one-shot batch reference."""
+    modeler = modeler if modeler is not None else create_modeler(method)
+    results = modeler.model_experiment(exp, rng=seed)
+    names = list(exp.parameters)
+    return [results[k].format(names) for k in sorted(results)]
+
+
+def _served_lines(response):
+    assert response["status"] == 200, response
+    return [m["formatted"] for m in response["models"]]
+
+
+class TestRoundTrip:
+    def test_request_is_bit_identical_to_batch_path(self, clean_experiment_1p):
+        with ModelingService(ServiceConfig(processes=1)) as service:
+            response = service.request(_payload(clean_experiment_1p), timeout=60)
+        assert _served_lines(response) == _batch_path_lines(clean_experiment_1p)
+        assert response["models"][0]["provenance"] is not None
+
+    def test_warm_modeler_reuse_stays_bit_identical(self, noisy_experiment_1p):
+        """Request #3 on a warm service == request #1 == the batch path."""
+        with ModelingService(ServiceConfig(processes=1)) as service:
+            responses = [
+                service.request(_payload(noisy_experiment_1p, seed=3), timeout=60)
+                for _ in range(3)
+            ]
+        reference = _batch_path_lines(noisy_experiment_1p, seed=3)
+        for response in responses:
+            assert _served_lines(response) == reference
+
+    def test_invalid_payload_raises_before_enqueue(self, clean_experiment_1p):
+        with ModelingService(ServiceConfig(processes=1)) as service:
+            with pytest.raises(RequestError, match="unsupported request schema"):
+                service.submit({"schema": "nope"})
+            assert service.healthz()["queued"] == 0
+
+    def test_failing_request_degrades_to_422(self, clean_experiment_1p):
+        """One degenerate request cannot take down its batch."""
+        broken = to_json_dict(clean_experiment_1p)
+        # A kernel with a single point cannot be cross-validated; modeling
+        # raises, and the service must answer 422 for that request only.
+        for kernel in broken["kernels"]:
+            kernel["measurements"] = kernel["measurements"][:1]
+        with ModelingService(ServiceConfig(processes=1)) as service:
+            bad = service.request(
+                {**_payload(clean_experiment_1p), "experiment": broken}, timeout=60
+            )
+            good = service.request(_payload(clean_experiment_1p), timeout=60)
+        assert bad["status"] == 422 and "error" in bad
+        assert _served_lines(good) == _batch_path_lines(clean_experiment_1p)
+
+
+class TestBatchingAndBackpressure:
+    def test_queued_batch_of_eight_drains_in_one_dispatch(self, clean_experiment_1p):
+        """Acceptance: >= 8 queued requests drain through the warm session
+        coalesced (one dispatcher batch), every one bit-identical to the
+        batch CLI path for its own seed."""
+        service = ModelingService(ServiceConfig(processes=1, batch_max=8))
+        pendings = [
+            service.submit(_payload(clean_experiment_1p, seed=seed))
+            for seed in range(8)
+        ]
+        assert service.healthz()["queued"] == 8
+        service.start()
+        responses = [p.wait(60) for p in pendings]
+        stats = service.healthz()
+        service.close()
+        assert stats["served"] == 8
+        assert stats["batches"] == 1, "8 queued requests must coalesce into one batch"
+        for seed, response in enumerate(responses):
+            assert _served_lines(response) == _batch_path_lines(
+                clean_experiment_1p, seed=seed
+            )
+
+    def test_queue_overflow_rejects_with_retry_after(self, clean_experiment_1p):
+        """Acceptance: overflow triggers rejection, not a hang or a drop."""
+        service = ModelingService(ServiceConfig(processes=1, queue_limit=2))
+        first = service.submit(_payload(clean_experiment_1p, seed=0))
+        second = service.submit(_payload(clean_experiment_1p, seed=1))
+        with pytest.raises(ServiceBusy) as err:
+            service.submit(_payload(clean_experiment_1p, seed=2))
+        assert err.value.retry_after == service.config.retry_after_s
+        assert service.healthz()["rejected"] == 1
+        # The accepted requests were not dropped: they drain normally.
+        service.start()
+        assert _served_lines(first.wait(60)) == _batch_path_lines(clean_experiment_1p)
+        assert second.wait(60)["status"] == 200
+        service.close()
+
+    def test_classify_coalescing_is_bit_identical(
+        self, tiny_network, clean_experiment_1p, noisy_experiment_1p
+    ):
+        """Concurrent non-adapting DNN requests share one classify_batch
+        call and still match the per-request batch path exactly."""
+        from repro.dnn.modeler import DNNModeler
+
+        spec = "dnn(use_domain_adaptation=False)"
+        served_dnn = DNNModeler(network=tiny_network, use_domain_adaptation=False)
+        calls = []
+        original = served_dnn.classify_batch
+
+        def recording_classify(kernels, n_params, network=None):
+            calls.append(len(list(kernels)))
+            return original(kernels, n_params, network=network)
+
+        served_dnn.classify_batch = recording_classify
+        # Pre-seed the worker-state modeler cache so the service uses the
+        # tiny test network instead of loading the full generic one.
+        _SERVICE_STATE["modelers"] = {spec: served_dnn}
+
+        experiments = [clean_experiment_1p, noisy_experiment_1p]
+        service = ModelingService(ServiceConfig(processes=1, batch_max=8))
+        pendings = [
+            service.submit(_payload(exp, method=spec, seed=0)) for exp in experiments
+        ]
+        service.start()
+        responses = [p.wait(60) for p in pendings]
+        service.close()
+
+        # The priming pass saw both requests' kernels in one call.
+        assert calls[0] == sum(len(e.kernels) for e in experiments)
+        for exp, response in zip(experiments, responses):
+            reference = DNNModeler(network=tiny_network, use_domain_adaptation=False)
+            assert _served_lines(response) == _batch_path_lines(
+                exp, seed=0, modeler=reference
+            )
+
+
+class TestLifecycle:
+    def test_close_drains_queued_requests(self, clean_experiment_1p):
+        service = ModelingService(ServiceConfig(processes=1))
+        pendings = [
+            service.submit(_payload(clean_experiment_1p, seed=s)) for s in range(3)
+        ]
+        service.start()
+        service.close(drain=True)
+        for pending in pendings:
+            assert pending.wait(1)["status"] == 200
+
+    def test_close_without_start_answers_503(self, clean_experiment_1p):
+        service = ModelingService(ServiceConfig(processes=1))
+        pending = service.submit(_payload(clean_experiment_1p))
+        service.close()
+        response = pending.wait(1)
+        assert response["status"] == 503
+        assert "shut down" in response["error"]
+
+    def test_submit_after_close_raises(self, clean_experiment_1p):
+        service = ModelingService(ServiceConfig(processes=1))
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(_payload(clean_experiment_1p))
+
+    def test_wait_timeout_raises(self, clean_experiment_1p):
+        service = ModelingService(ServiceConfig(processes=1))
+        pending = service.submit(_payload(clean_experiment_1p))  # never started
+        with pytest.raises(TimeoutError, match="not answered within"):
+            pending.wait(0.01)
+        service.close()
+
+    def test_healthz_reports_draining(self, clean_experiment_1p):
+        service = ModelingService(ServiceConfig(processes=1))
+        service.start()
+        assert service.healthz()["status"] == "ok"
+        service.close()
+        assert service.healthz()["status"] == "draining"
+
+    def test_concurrent_submitters(self, clean_experiment_1p):
+        """Handler threads submit concurrently while the dispatcher serves."""
+        service = ModelingService(ServiceConfig(processes=1, queue_limit=32))
+        service.start()
+        responses = {}
+        lock = threading.Lock()
+
+        def client(seed):
+            response = service.request(_payload(clean_experiment_1p, seed=seed), 60)
+            with lock:
+                responses[seed] = response
+
+        threads = [threading.Thread(target=client, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        service.close()
+        assert sorted(responses) == list(range(8))
+        for seed, response in responses.items():
+            assert _served_lines(response) == _batch_path_lines(
+                clean_experiment_1p, seed=seed
+            )
+
+
+class TestJournalsAndObservability:
+    def test_per_tenant_journals(self, tmp_path, clean_experiment_1p):
+        run_dir = tmp_path / "svc"
+        with ModelingService(
+            ServiceConfig(processes=1, run_dir=str(run_dir))
+        ) as service:
+            service.request(_payload(clean_experiment_1p, tenant="team-a", id="a-1"), 60)
+            service.request(_payload(clean_experiment_1p, tenant="team-b", id="b-1"), 60)
+            service.request(_payload(clean_experiment_1p, tenant="team-a", id="a-2"), 60)
+        parent = RunManifest.load(run_dir)
+        children = parent.sub_manifests()
+        assert sorted(children) == ["team-a", "team-b"]
+        team_a = children["team-a"].completed_tasks()
+        assert [team_a[i]["id"] for i in sorted(team_a)] == ["a-1", "a-2"]
+        team_b = children["team-b"].completed_tasks()
+        assert [team_b[i]["id"] for i in sorted(team_b)] == ["b-1"]
+        for payload in list(team_a.values()) + list(team_b.values()):
+            assert payload["status"] == 200
+            assert payload["models"]
+
+    def test_trace_artifact_written_on_close(self, tmp_path, clean_experiment_1p):
+        run_dir = tmp_path / "svc"
+        with ModelingService(
+            ServiceConfig(processes=1, run_dir=str(run_dir))
+        ) as service:
+            service.request(_payload(clean_experiment_1p), 60)
+        manifest = RunManifest.load(run_dir)
+        assert "trace" in manifest.artifacts()
+        from repro.obs.report import load_run_trace, summarize_trace
+
+        summary = summarize_trace(load_run_trace(run_dir))
+        span_names = {s["name"] for s in summary["spans"]}
+        assert "service.request" in span_names
+
+    def test_metrics_text_exposition(self, clean_experiment_1p):
+        with ModelingService(ServiceConfig(processes=1)) as service:
+            service.request(_payload(clean_experiment_1p), 60)
+            text = service.metrics_text()
+        assert "repro_service_served 1" in text
+        assert "service_served_total 1" in text  # live obs counter
+
+    def test_telemetry_off_still_serves(self, clean_experiment_1p):
+        with ModelingService(
+            ServiceConfig(processes=1, telemetry=False)
+        ) as service:
+            response = service.request(_payload(clean_experiment_1p), 60)
+            text = service.metrics_text()
+        assert response["status"] == 200
+        assert "repro_service_served 1" in text
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_limit": 0},
+            {"batch_max": 0},
+            {"linger_s": -1.0},
+            {"retry_after_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)

@@ -1,0 +1,192 @@
+"""Both transports end-to-end: unix socket and localhost TCP.
+
+The handler maps service outcomes onto HTTP: 400 for invalid payloads, 429
++ ``Retry-After`` for backpressure, 503 when draining, 404 for unknown
+routes -- and a served response is byte-for-byte the batch CLI's models.
+"""
+
+import threading
+
+import pytest
+
+from repro.experiment.io import to_json_dict
+from repro.modeling.registry import create_modeler
+from repro.service import (
+    ModelingService,
+    ServiceConfig,
+    serve_http,
+    serve_unix,
+    start_server,
+)
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.core import _SERVICE_STATE
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_state():
+    _SERVICE_STATE.clear()
+    yield
+    _SERVICE_STATE.clear()
+
+
+@pytest.fixture
+def service():
+    svc = ModelingService(ServiceConfig(processes=1))
+    svc.start()
+    yield svc
+    svc.close()
+
+
+def _reference_lines(exp, method="regression", seed=0):
+    results = create_modeler(method).model_experiment(exp, rng=seed)
+    names = list(exp.parameters)
+    return [results[k].format(names) for k in sorted(results)]
+
+
+class TestUnixTransport:
+    def test_round_trip_over_unix_socket(self, tmp_path, service, clean_experiment_1p):
+        server = serve_unix(service, tmp_path / "repro.sock")
+        start_server(server)
+        try:
+            client = ServiceClient(f"unix:{tmp_path / 'repro.sock'}")
+            response = client.model(clean_experiment_1p, method="regression", seed=0)
+            assert [m["formatted"] for m in response["models"]] == _reference_lines(
+                clean_experiment_1p
+            )
+            assert client.healthz()["status"] == "ok"
+            assert "repro_service_served 1" in client.metrics()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_bare_socket_path_address(self, tmp_path, service, clean_experiment_1p):
+        path = str(tmp_path / "repro.sock")
+        server = serve_unix(service, path)
+        start_server(server)
+        try:
+            client = ServiceClient(path)  # no unix: prefix
+            assert client.stats()["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_stale_socket_file_is_replaced(self, tmp_path, service):
+        path = tmp_path / "repro.sock"
+        path.write_text("stale")
+        server = serve_unix(service, path)
+        start_server(server)
+        try:
+            assert ServiceClient(f"unix:{path}").healthz()["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestTCPTransport:
+    def test_round_trip_over_localhost(self, service, clean_experiment_1p):
+        server = serve_http(service, "127.0.0.1", 0)  # free port
+        start_server(server)
+        host, port = server.server_address[:2]
+        try:
+            client = ServiceClient(f"http://{host}:{port}")
+            response = client.model(
+                to_json_dict(clean_experiment_1p), method="regression", seed=4
+            )
+            assert [m["formatted"] for m in response["models"]] == _reference_lines(
+                clean_experiment_1p, seed=4
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestErrorMapping:
+    def test_unknown_route_404(self, tmp_path, service):
+        server = serve_unix(service, tmp_path / "s.sock")
+        start_server(server)
+        try:
+            client = ServiceClient(f"unix:{tmp_path / 's.sock'}")
+            with pytest.raises(ServiceError) as err:
+                client._request("GET", "/nope")
+            assert err.value.status == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_invalid_payload_400(self, tmp_path, service):
+        server = serve_unix(service, tmp_path / "s.sock")
+        start_server(server)
+        try:
+            client = ServiceClient(f"unix:{tmp_path / 's.sock'}")
+            with pytest.raises(ServiceError) as err:
+                client._request("POST", "/v1/model", {"schema": "bogus"})
+            assert err.value.status == 400
+            assert "unsupported request schema" in str(err.value)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_queue_overflow_429_with_retry_after(self, tmp_path, clean_experiment_1p):
+        """Backpressure over the wire: 429 + Retry-After, no hang, no drop."""
+        # Not started: the dispatcher cannot drain, so the queue stays full
+        # deterministically. Handler threads still accept and park requests.
+        svc = ModelingService(ServiceConfig(processes=1, queue_limit=1, retry_after_s=2.5))
+        server = serve_unix(svc, tmp_path / "s.sock")
+        start_server(server)
+        client = ServiceClient(f"unix:{tmp_path / 's.sock'}", timeout=30)
+        payload = to_json_dict(clean_experiment_1p)
+        first_result = {}
+
+        def first_request():
+            # Parks in the queue; answered once the service starts.
+            first_result["response"] = client.model(payload, method="regression")
+
+        thread = threading.Thread(target=first_request, daemon=True)
+        thread.start()
+        # Wait until the first request occupies the queue slot.
+        for _ in range(200):
+            if svc.healthz()["queued"] >= 1:
+                break
+            threading.Event().wait(0.01)
+        try:
+            with pytest.raises(ServiceUnavailable) as err:
+                client.model(payload, method="regression")
+            assert err.value.status == 429
+            assert err.value.retry_after == 2.5
+            # The parked request was not dropped: starting the service
+            # drains it with a real answer.
+            svc.start()
+            thread.join(timeout=60)
+            assert first_result["response"]["status"] == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()
+
+    def test_draining_service_503(self, tmp_path, clean_experiment_1p):
+        svc = ModelingService(ServiceConfig(processes=1))
+        svc.start()
+        server = serve_unix(svc, tmp_path / "s.sock")
+        start_server(server)
+        try:
+            svc.close()
+            client = ServiceClient(f"unix:{tmp_path / 's.sock'}")
+            with pytest.raises(ServiceError) as err:
+                client.model(to_json_dict(clean_experiment_1p))
+            assert err.value.status == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestClientAddresses:
+    def test_rejects_https_and_malformed(self):
+        with pytest.raises(ValueError, match="https is not supported"):
+            ServiceClient("https://example.com:1")
+        with pytest.raises(ValueError, match="http://host:port"):
+            ServiceClient("http://no-port")
+
+    def test_rejects_unserializable_experiment(self, tmp_path):
+        client = ServiceClient(f"unix:{tmp_path / 'none.sock'}")
+        with pytest.raises(TypeError, match="experiment must be"):
+            client.model(42)

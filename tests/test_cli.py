@@ -280,3 +280,29 @@ class TestModelCommand:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["model", str(tmp_path / "nope.json"), "--method", "regression"])
+
+
+class TestServeCommand:
+    def test_serve_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve", "--socket", "/tmp/repro.sock"])
+        assert callable(args.func)
+        assert args.socket == "/tmp/repro.sock"
+        assert args.port is None
+        assert args.host == "127.0.0.1"
+        assert args.queue_limit == 64
+        assert args.batch == 8
+        assert args.linger == 0.05
+        assert args.timeout == 120.0
+        assert args.no_telemetry is False
+
+    def test_serve_accepts_tcp_transport(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "8123", "--processes", "2", "--no-telemetry"]
+        )
+        assert args.port == 8123
+        assert args.processes == 2
+        assert args.no_telemetry is True
+
+    def test_serve_without_transport_exits(self):
+        with pytest.raises(SystemExit, match="transport"):
+            main(["serve"])

@@ -99,3 +99,89 @@ class TestLRUCache:
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError):
             LRUCache(0)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_access_stays_consistent(self):
+        """Hammer one cache from many threads: no lost updates, no internal
+        corruption, and the hit/miss/eviction counters stay coherent."""
+        import threading
+
+        cache = LRUCache(64)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(base):
+            try:
+                barrier.wait()
+                for i in range(500):
+                    key = (base * 500 + i) % 96  # overlap across threads
+                    cache[key] = key * 2
+                    got = cache.get(key)
+                    # Another thread may have evicted it, but a present
+                    # value must never be torn or mismatched.
+                    assert got is None or got == key * 2
+                    _ = key in cache
+                    _ = len(cache)
+                    cache.stats()
+            # repro-lint: disable-next-line=EXC001 -- not swallowed: failures
+            # cross the thread boundary through `errors` and fail the test.
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert len(cache) <= 64
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 500
+        for key in list(range(96)):
+            value = cache.get(key)
+            assert value is None or value == key * 2
+
+    def test_concurrent_clear_does_not_corrupt(self):
+        import threading
+
+        cache = LRUCache(16)
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                cache[i % 32] = i
+                i += 1
+
+        def clearer():
+            while not stop.is_set():
+                cache.clear()
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=clearer)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(cache) <= 16
+
+
+class TestPickling:
+    def test_pickle_roundtrip_preserves_entries_and_lock(self):
+        """Caches ride into pool workers inside modelers; the lock must be
+        dropped on pickle and recreated on unpickle, still functional."""
+        import pickle
+
+        cache = LRUCache(4)
+        cache["a"] = 1
+        cache.get("a")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.hits == cache.hits  # counters survive the trip
+        assert clone.get("a") == 1
+        assert clone.maxsize == 4
+        clone["b"] = 2  # exercises the recreated lock
+        assert "b" in clone
