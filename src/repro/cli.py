@@ -363,6 +363,7 @@ def _cmd_methods(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
+        available_program_rules,
         available_rules,
         find_project_root,
         lint_paths,
@@ -374,7 +375,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     config = load_config(find_project_root())
     select = _split_rules(args.select)
     ignore = _split_rules(args.ignore)
-    known = set(available_rules())
+    known = set(available_rules()) | set(available_program_rules())
     unknown = [r for r in (select or []) + (ignore or []) if r not in known]
     if unknown:
         print(
@@ -383,7 +384,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    config = config.with_overrides(select=select, ignore=ignore)
+    config = config.with_overrides(select=select, ignore=ignore, program=args.program)
     try:
         result = lint_paths(args.paths or None, config)
     except FileNotFoundError as exc:
@@ -798,6 +799,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--ignore", action="append", metavar="RULES", default=None,
         help="comma-separated rule ids to skip (extends the configured set)",
+    )
+    p_lint.add_argument(
+        "--program", dest="program", action="store_true", default=None,
+        help="run the whole-program pass (import/call graph rules) even if "
+        "the configuration disables it",
+    )
+    p_lint.add_argument(
+        "--no-program", dest="program", action="store_false",
+        help="skip the whole-program pass (per-file rules only)",
     )
     p_lint.set_defaults(func=_cmd_lint)
 

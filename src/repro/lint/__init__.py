@@ -10,8 +10,15 @@ registry, per-rule ``# repro-lint: disable=RULE`` suppression comments, and
 text/JSON reporters -- that checks those invariants (plus numerical-hygiene
 ones) on every file of the repository, wired into CI as a gating job.
 
+On top of the per-file pass sits a whole-program pass
+(:mod:`repro.lint.program`): every discovered file is parsed once into a
+shared project graph -- symbol table, import graph, approximate call graph --
+feeding cross-file rules (:mod:`repro.lint.program_rules`) for concurrency
+races, RNG dataflow, schema-literal drift, and import hygiene.
+
 Run it as ``repro-model lint [paths]``; see :mod:`repro.lint.rules` for the
-rule catalogue and DESIGN.md §9 for the rationale and suppression policy.
+per-file rule catalogue and DESIGN.md §9 for the rationale and suppression
+policy.
 """
 
 from __future__ import annotations
@@ -25,24 +32,41 @@ from repro.lint.core import (
     lint_source,
     register_rule,
 )
-from repro.lint.report import render_json, render_text
-from repro.lint.runner import LintResult, lint_file, lint_paths
+from repro.lint.program import (
+    ProgramFinding,
+    ProgramGraph,
+    ProgramRule,
+    available_program_rules,
+    build_program,
+    register_program_rule,
+)
+from repro.lint.report import parse_report, render_json, render_text
+from repro.lint.runner import LintResult, lint_file, lint_paths, lint_sources
 
-# Importing the rule catalogue registers the built-in rules.
+# Importing the rule catalogues registers the built-in rules.
 from repro.lint import rules as _rules  # noqa: F401  (import for side effect)
+from repro.lint import program_rules as _program_rules  # noqa: F401
 
 __all__ = [
     "LintConfig",
     "LintContext",
     "LintResult",
+    "ProgramFinding",
+    "ProgramGraph",
+    "ProgramRule",
     "Rule",
     "Violation",
+    "available_program_rules",
     "available_rules",
+    "build_program",
     "find_project_root",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "load_config",
+    "parse_report",
+    "register_program_rule",
     "register_rule",
     "render_json",
     "render_text",

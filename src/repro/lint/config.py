@@ -10,6 +10,9 @@ underscores are interchangeable)::
     ignore = ["FLT001"]               # rules dropped everywhere
     exclude = ["tests/lint/fixtures"] # path prefixes never discovered
     float-sentinels = [1.0]           # FLT001 whitelisted literals
+    program = true                    # run the whole-program pass
+    schema-module = "repro.schemas"   # SCHEMA001X canonical constants
+    arch-allow = ["cycle:a<->b"]      # ARCH001 ratcheted debt list
 
     [tool.repro-lint.per-path-ignores]
     "tests/" = ["FLT001"]             # rules dropped under a path prefix
@@ -45,18 +48,25 @@ class LintConfig:
     exclude: "tuple[str, ...]" = ()
     per_path_ignores: "Mapping[str, tuple[str, ...]]" = field(default_factory=dict)
     float_sentinels: "tuple[float, ...]" = ()
+    program: bool = True
+    schema_module: str = "repro.schemas"
+    arch_allow: "tuple[str, ...]" = ()
 
     def with_overrides(
         self,
         select: "Iterable[str] | None" = None,
         ignore: "Iterable[str] | None" = None,
+        program: "bool | None" = None,
     ) -> "LintConfig":
-        """CLI-level overrides: ``--select`` replaces, ``--ignore`` extends."""
+        """CLI-level overrides: ``--select`` replaces, ``--ignore`` extends,
+        ``--program/--no-program`` forces the whole-program pass on or off."""
         out = self
         if select is not None:
             out = replace(out, select=tuple(_upper(select)))
         if ignore is not None:
             out = replace(out, ignore=tuple(self.ignore) + tuple(_upper(ignore)))
+        if program is not None:
+            out = replace(out, program=bool(program))
         return out
 
     def rules_for(self, relpath: str, registered: "Iterable[str]") -> "set[str]":
@@ -129,4 +139,7 @@ def load_config(root: "Path | None" = None) -> LintConfig:
         exclude=tuple(_normalize(str(p)) for p in normalized.get("exclude", ())),
         per_path_ignores=per_path,
         float_sentinels=tuple(float(v) for v in normalized.get("float_sentinels", ())),
+        program=bool(normalized.get("program", LintConfig.program)),
+        schema_module=str(normalized.get("schema_module", LintConfig.schema_module)),
+        arch_allow=tuple(str(v) for v in normalized.get("arch_allow", ())),
     )

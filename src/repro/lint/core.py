@@ -29,7 +29,14 @@ PARSE_RULE = "PARSE"
 
 @dataclass(frozen=True, order=True)
 class Violation:
-    """One finding: rule id, location, and a human-readable message."""
+    """One finding: rule id, location, and a human-readable message.
+
+    ``kind`` distinguishes per-file findings (``"file"``) from
+    whole-program findings (``"program"``, see :mod:`repro.lint.program`);
+    program findings may carry ``provenance`` -- the call chain or module
+    set that produced them -- so a reader can retrace the cross-file
+    reasoning without rebuilding the graph.
+    """
 
     path: str
     line: int
@@ -37,6 +44,8 @@ class Violation:
     rule: str
     message: str
     end_line: int = 0
+    kind: str = "file"
+    provenance: "tuple[str, ...]" = ()
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
@@ -48,6 +57,9 @@ class Violation:
             "line": self.line,
             "column": self.column,
             "message": self.message,
+            "end_line": self.end_line,
+            "kind": self.kind,
+            "provenance": list(self.provenance),
         }
 
 
@@ -112,6 +124,17 @@ def available_rules() -> "dict[str, Rule]":
     return {rule_id: _RULES[rule_id] for rule_id in sorted(_RULES)}
 
 
+def parse_violation(relpath: str, exc: SyntaxError) -> Violation:
+    """The single :data:`PARSE_RULE` finding for an unparseable file."""
+    return Violation(
+        path=relpath,
+        line=exc.lineno or 1,
+        column=(exc.offset or 1) - 1,
+        rule=PARSE_RULE,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
 def lint_source(
     source: str,
     relpath: str = "<string>",
@@ -123,21 +146,28 @@ def lint_source(
     (e.g. IO001's restriction to ``src/repro``) key off it, so tests can
     exercise scoping with virtual paths without touching the filesystem.
     """
-    config = config or LintConfig()
-    registered = available_rules()
-    active_ids = config.rules_for(relpath, registered)
     try:
         tree = ast.parse(source, filename=relpath)
     except SyntaxError as exc:
-        return [
-            Violation(
-                path=relpath,
-                line=exc.lineno or 1,
-                column=(exc.offset or 1) - 1,
-                rule=PARSE_RULE,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return [parse_violation(relpath, exc)]
+    return lint_parsed(source, tree, relpath, config)
+
+
+def lint_parsed(
+    source: str,
+    tree: ast.AST,
+    relpath: str = "<string>",
+    config: "LintConfig | None" = None,
+) -> "list[Violation]":
+    """The per-file pass over an already-parsed tree.
+
+    This is :func:`lint_source` minus the parse, so the whole-tree runner
+    can share one AST per file between the per-file and whole-program
+    passes (:mod:`repro.lint.program`) instead of parsing twice.
+    """
+    config = config or LintConfig()
+    registered = available_rules()
+    active_ids = config.rules_for(relpath, registered)
     ctx = LintContext(relpath, source, tree, config)
     active = [
         rule

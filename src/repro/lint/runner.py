@@ -2,19 +2,33 @@
 
 :func:`lint_paths` is what the CLI and CI call: it expands the requested
 paths (files or directory trees) into Python sources, skips the
-configuration's excluded prefixes, lints every file, and returns a
-:class:`LintResult` with deterministic (path, line) ordering regardless of
-filesystem enumeration order.
+configuration's excluded prefixes, parses each file exactly once, runs the
+per-file pass (:mod:`repro.lint.core`) and -- when enabled -- the
+whole-program pass (:mod:`repro.lint.program`) over the shared trees, and
+returns a :class:`LintResult` with deterministic (path, line) ordering
+regardless of filesystem enumeration order.
+
+:func:`lint_sources` is the same two-pass engine over an in-memory
+``{relpath: source}`` mapping, so tests can exercise cross-file rules on
+virtual mini-projects without touching the filesystem.
 """
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.lint.config import LintConfig
-from repro.lint.core import Violation, lint_source
+from repro.lint.core import (
+    Violation,
+    available_rules,
+    lint_parsed,
+    lint_source,
+    parse_violation,
+)
+from repro.lint.suppressions import parse_suppressions
 
 
 @dataclass(frozen=True)
@@ -28,6 +42,16 @@ class LintResult:
     @property
     def clean(self) -> bool:
         return not self.violations
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One discovered file, parsed exactly once for both lint passes."""
+
+    relpath: str
+    source: str
+    tree: "object | None"  # ast.Module, or None when the file failed to parse
+    error: "Violation | None" = None  # the PARSE violation for unparseable files
 
 
 def relative_path(path: Path, config: LintConfig) -> str:
@@ -58,8 +82,17 @@ def discover_files(paths: "Iterable[str | Path]", config: LintConfig) -> "list[P
     return [seen[relpath] for relpath in sorted(seen)]
 
 
+def load_source(relpath: str, source: str) -> SourceFile:
+    """Parse one file into a :class:`SourceFile` (errors become findings)."""
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return SourceFile(relpath, source, None, parse_violation(relpath, exc))
+    return SourceFile(relpath, source, tree)
+
+
 def lint_file(path: "str | Path", config: "LintConfig | None" = None) -> "list[Violation]":
-    """Lint one on-disk file (path-scoped rules see its project relpath)."""
+    """Lint one on-disk file (per-file rules only; no program pass)."""
     config = config or LintConfig()
     path = Path(path)
     source = path.read_text(encoding="utf-8")
@@ -74,11 +107,108 @@ def lint_paths(
     config = config or LintConfig()
     targets = list(paths) if paths else [Path(config.root) / p for p in config.paths]
     files = discover_files(targets, config)
+    sources = [
+        load_source(relative_path(path, config), path.read_text(encoding="utf-8"))
+        for path in files
+    ]
+    return _lint_loaded(sources, config)
+
+
+def lint_sources(
+    sources: "Mapping[str, str]",
+    config: "LintConfig | None" = None,
+) -> LintResult:
+    """Run both passes over an in-memory ``{relpath: source}`` project.
+
+    The hermetic counterpart of :func:`lint_paths`: relpaths are virtual
+    (``src/repro/...`` prefixes scope the path-sensitive rules exactly as
+    on disk), nothing is read from or written to the filesystem, and the
+    whole-program pass sees the mapping as the complete program.
+    """
+    config = config or LintConfig()
+    loaded = [
+        load_source(relpath, sources[relpath]) for relpath in sorted(sources)
+    ]
+    return _lint_loaded(loaded, config)
+
+
+def _lint_loaded(sources: "list[SourceFile]", config: LintConfig) -> LintResult:
     violations: "list[Violation]" = []
-    for path in files:
-        violations.extend(lint_file(path, config))
+    for src in sources:
+        if src.error is not None:
+            violations.append(src.error)
+        else:
+            violations.extend(lint_parsed(src.source, src.tree, src.relpath, config))
+    if config.program:
+        violations.extend(_program_pass(sources, config))
     return LintResult(
         violations=tuple(sorted(violations)),
-        files_checked=len(files),
-        files=tuple(relative_path(f, config) for f in files),
+        files_checked=len(sources),
+        files=tuple(src.relpath for src in sources),
     )
+
+
+def _program_pass(sources: "list[SourceFile]", config: LintConfig) -> "list[Violation]":
+    """Build the program graph once and run every selected program rule.
+
+    Findings are mapped back onto files and filtered exactly like per-file
+    findings: the finding file's suppression comments apply, and so does
+    the configuration's per-path selection. A finding attributed to a file
+    outside the program (e.g. ARCH001's stale-allowlist report against
+    pyproject.toml) is only subject to rule selection for that path.
+    """
+    from repro.lint.program import (
+        SourceModule,
+        available_program_rules,
+        build_program,
+        module_name,
+    )
+
+    program_rules = available_program_rules()
+    registered_ids = list(available_rules()) + list(program_rules)
+    # Selection is per-file; a program rule runs if any linted file selects
+    # it (its findings are then filtered per file below).
+    wanted = {
+        rule_id
+        for src in sources
+        for rule_id in config.rules_for(src.relpath, registered_ids)
+        if rule_id in program_rules
+    }
+    if not wanted:
+        return []
+    by_relpath = {src.relpath: src for src in sources}
+    graph = build_program(
+        SourceModule(src.relpath, src.source, src.tree)
+        for src in sources
+        if src.tree is not None
+    )
+    violations: "list[Violation]" = []
+    for rule_id in sorted(wanted):
+        rule = program_rules[rule_id]
+        for finding in rule.check(graph, config):
+            if rule_id not in config.rules_for(finding.relpath, registered_ids):
+                continue
+            src = by_relpath.get(finding.relpath)
+            if src is not None and src.tree is not None:
+                module = graph.modules.get(module_name(finding.relpath))
+                suppressions = (
+                    module.suppressions
+                    if module is not None and module.relpath == finding.relpath
+                    else parse_suppressions(src.source)
+                )
+                last = finding.end_line or finding.line
+                if suppressions.is_suppressed(rule_id, finding.line, last):
+                    continue
+            violations.append(
+                Violation(
+                    path=finding.relpath,
+                    line=finding.line,
+                    column=finding.column,
+                    rule=rule_id,
+                    message=finding.message,
+                    end_line=finding.end_line,
+                    kind="program",
+                    provenance=finding.provenance,
+                )
+            )
+    return violations

@@ -12,12 +12,10 @@ import json
 from pathlib import Path
 
 from repro.obs.sink import TRACE_FILENAME, read_trace
+from repro.schemas import TRACE_SUMMARY_SCHEMA as SUMMARY_SCHEMA
 from repro.util.tables import render_table
 
 __all__ = ["load_run_trace", "summarize_trace", "render_trace_text", "render_trace_json"]
-
-#: JSON summary schema version, bumped on breaking shape changes.
-SUMMARY_SCHEMA = "repro.trace-summary/v1"
 
 
 def load_run_trace(run_dir: "str | Path") -> list[dict]:

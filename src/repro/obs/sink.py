@@ -30,6 +30,7 @@ import math
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.schemas import TRACE_SCHEMA
 from repro.util.artifacts import atomic_write_text
 from repro.util.timing import validate_stage_seconds
 
@@ -42,7 +43,6 @@ __all__ = [
     "validate_trace_records",
 ]
 
-TRACE_SCHEMA = "repro.trace/v1"
 TRACE_FILENAME = "trace.jsonl"
 
 _RECORD_TYPES = frozenset(("header", "stage", "span", "metric"))

@@ -1,0 +1,50 @@
+"""Canonical wire-schema version strings for every ``repro.*/vN`` artifact.
+
+Every schema-versioned payload the project reads or writes -- service
+requests/responses, trace artifacts, trace summaries -- names its format
+with a ``repro.<name>/v<N>`` string. This module is the single source of
+truth for those strings: producers and validators import the constants
+below, and the whole-program lint rule SCHEMA001X enforces that no other
+module under ``src/repro`` spells one of the literals by hand (a drifted
+copy silently breaks the byte-identity contract between served and batch
+results, and between written and replayed artifacts).
+
+The one sanctioned exception is :mod:`repro.service.client`, which must
+stay importable without the package root (stdlib-only vendoring) and
+therefore carries its own suppressed copy of :data:`REQUEST_SCHEMA`; the
+round-trip test in ``tests/service`` pins the two spellings together.
+
+Bumping a version means adding the new string here, migrating producers,
+and teaching validators which generations they still accept.
+"""
+
+from __future__ import annotations
+
+#: Modeling-service request envelope (:mod:`repro.service.schema`).
+REQUEST_SCHEMA = "repro.request/v1"
+
+#: Modeling-service response envelope (:mod:`repro.service.schema`).
+RESPONSE_SCHEMA = "repro.response/v1"
+
+#: Telemetry trace artifact, header-first JSONL (:mod:`repro.obs.sink`).
+TRACE_SCHEMA = "repro.trace/v1"
+
+#: Rendered trace summary document (:mod:`repro.obs.report`).
+TRACE_SUMMARY_SCHEMA = "repro.trace-summary/v1"
+
+#: Every canonical schema string, keyed by constant name. SCHEMA001X
+#: checks literals found elsewhere in the program against these values.
+ALL_SCHEMAS: "dict[str, str]" = {
+    "REQUEST_SCHEMA": REQUEST_SCHEMA,
+    "RESPONSE_SCHEMA": RESPONSE_SCHEMA,
+    "TRACE_SCHEMA": TRACE_SCHEMA,
+    "TRACE_SUMMARY_SCHEMA": TRACE_SUMMARY_SCHEMA,
+}
+
+__all__ = [
+    "ALL_SCHEMAS",
+    "REQUEST_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "TRACE_SCHEMA",
+    "TRACE_SUMMARY_SCHEMA",
+]

@@ -20,6 +20,10 @@ import json
 import socket
 from http.client import HTTPConnection
 
+# repro-lint: disable-next-line=SCHEMA001X -- sanctioned copy: this client
+# must stay stdlib-only (vendorable without numpy), and importing the
+# canonical constant from repro.schemas would execute the package root;
+# tests/service/test_client.py pins this spelling to repro.schemas.
 REQUEST_SCHEMA = "repro.request/v1"
 
 

@@ -36,9 +36,8 @@ from repro.experiment.experiment import Experiment
 from repro.experiment.io import ExperimentFormatError, QuarantineRecord, parse_experiment
 from repro.modeling.pipeline import ModelResult
 from repro.modeling.registry import validate_spec
+from repro.schemas import REQUEST_SCHEMA, RESPONSE_SCHEMA
 
-REQUEST_SCHEMA = "repro.request/v1"
-RESPONSE_SCHEMA = "repro.response/v1"
 DEFAULT_TENANT = "default"
 DEFAULT_METHOD = "adaptive"
 

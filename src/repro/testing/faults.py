@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 from dataclasses import dataclass
 
 __all__ = [
@@ -92,6 +93,11 @@ def parse_faults(text: str) -> "dict[str, FaultSpec]":
 _PLAN: "dict[str, FaultSpec] | None" = None
 _ENV_CACHE: "tuple[str, dict[str, FaultSpec]] | None" = None
 _COUNTS: "dict[str, int]" = {}
+# Fault points are hit from whatever thread runs the instrumented code --
+# under the service that includes the dispatcher thread -- so the
+# read-increment-write in check() takes this lock to keep "the Nth call
+# fires" deterministic.
+_COUNTS_LOCK = threading.Lock()
 
 
 def activate(plan: "str | dict[str, FaultSpec]") -> None:
@@ -136,8 +142,9 @@ def check(point: str) -> "FaultSpec | None":
     plan = _active_plan()
     if plan is None:
         return None
-    count = _COUNTS.get(point, 0) + 1
-    _COUNTS[point] = count
+    with _COUNTS_LOCK:
+        count = _COUNTS.get(point, 0) + 1
+        _COUNTS[point] = count
     spec = plan.get(point)
     if spec is not None and count == spec.nth:
         return spec

@@ -97,10 +97,17 @@ class StageTimer:
             yield
         finally:
             elapsed = time.perf_counter() - started
+            # repro-lint: disable-next-line=CONC001 -- StageTimer is
+            # documented single-owner: each worker/run accumulates into its
+            # own instance, and the one cross-thread consumer (the service's
+            # stage aggregate) serializes every merge() under _stats_lock at
+            # the call site, which lexical lock tracking cannot see.
             self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
 
     def add(self, stage: str, seconds: float) -> None:
         validate_stage_seconds({stage: seconds})
+        # repro-lint: disable-next-line=CONC001 -- same single-owner contract
+        # as time() above; the service holds _stats_lock around merge()/add().
         self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
 
     def merge(self, other: "Mapping[str, float]") -> None:

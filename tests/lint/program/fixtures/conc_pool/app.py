@@ -1,0 +1,38 @@
+"""CONC002 fixture: one clean dispatch, three unpicklable ones, one
+unresolvable (skipped, never guessed)."""
+
+from repro.parallel.engine import EngineSession, run_tasks
+
+
+def job(x):
+    return x + 1
+
+
+def dispatch_ok(tasks):
+    return run_tasks(job, tasks)
+
+
+def dispatch_lambda(tasks):
+    return run_tasks(lambda x: x + 1, tasks)
+
+
+def dispatch_nested(tasks):
+    def inner(x):
+        return x + 1
+
+    return run_tasks(inner, tasks)
+
+
+class Runner:
+    def __init__(self):
+        self._session = EngineSession()
+
+    def work(self, tasks):
+        return self._session.run(self._bump, tasks)
+
+    def _bump(self, x):
+        return x + 1
+
+
+def dispatch_unresolvable(fn, tasks):
+    return run_tasks(fn, tasks)

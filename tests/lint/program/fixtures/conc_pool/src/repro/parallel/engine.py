@@ -1,0 +1,10 @@
+"""Stub of the real engine: just the dispatch surface CONC002 keys on."""
+
+
+def run_tasks(fn, tasks):
+    return [fn(task) for task in tasks]
+
+
+class EngineSession:
+    def run(self, fn, tasks):
+        return run_tasks(fn, tasks)

@@ -1,0 +1,20 @@
+"""CONC001 fixture: `_stats` is mutated unlocked outside the thread."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._stats = {}
+        self._stats_lock = threading.Lock()
+        self._thread = threading.Thread(target=self._loop)
+
+    def start(self):
+        self._thread.start()
+
+    def _loop(self):
+        with self._stats_lock:
+            self._stats["ticks"] = self._stats.get("ticks", 0) + 1
+
+    def record(self, key):
+        self._stats[key] = 1

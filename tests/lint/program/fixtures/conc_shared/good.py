@@ -1,0 +1,27 @@
+"""CONC001 fixture: every compound mutation holds the lock; rebinds,
+queues, and `__init__` writes are exempt by design."""
+
+import queue
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._items = []
+        self._items_lock = threading.Lock()
+        self._inbox = queue.Queue()
+        self._state = "idle"
+        self._thread = threading.Thread(target=self._run)
+
+    def start(self):
+        self._thread.start()
+
+    def _run(self):
+        with self._items_lock:
+            self._items.append(self._inbox.get())
+        self._state = "busy"
+
+    def push(self, item):
+        self._inbox.put(item)
+        with self._items_lock:
+            self._items.append(item)

@@ -1,0 +1,7 @@
+"""Half of an import cycle (ARCH001)."""
+
+from repro.b import helper_b
+
+
+def helper_a():
+    return helper_b() + 1

@@ -1,0 +1,7 @@
+"""Other half of the import cycle (ARCH001)."""
+
+from repro.a import helper_a
+
+
+def helper_b():
+    return helper_a() - 1

@@ -1,0 +1,11 @@
+"""Library module with one live export and one dead one (ARCH001)."""
+
+__all__ = ["used", "unused"]
+
+
+def used():
+    return 1
+
+
+def unused():
+    return 2

@@ -1,0 +1,4 @@
+"""Canonical schema constants for the fixture project."""
+
+REQUEST_SCHEMA = "repro.request/v1"
+TRACE_SCHEMA = "repro.trace/v1"

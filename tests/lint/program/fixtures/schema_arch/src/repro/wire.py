@@ -1,0 +1,7 @@
+"""Library module respelling a canonical literal (SCHEMA001X dup)."""
+
+SCHEMA = "repro.request/v1"
+
+
+def envelope(body):
+    return {"schema": SCHEMA, "body": body}

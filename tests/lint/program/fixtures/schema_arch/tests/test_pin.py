@@ -1,0 +1,11 @@
+"""Consumer module: keeps `used` alive, pins one canonical literal
+(fine), and carries one drifted literal (SCHEMA001X)."""
+
+from repro.lib import used
+
+EXPECTED = "repro.request/v1"
+STALE = "repro.request/v9"
+
+
+def test_used():
+    assert used() == 1

@@ -1,0 +1,154 @@
+"""RNG002: seeded entry points must not transitively reach global RNG."""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig, lint_sources
+
+RNG_CONFIG = LintConfig(select=("RNG002",), program=True)
+
+FIT = '''\
+from repro.helpers import prepare
+
+
+def fit(values, rng):
+    return prepare(values)
+'''
+
+HELPERS_BAD = '''\
+import numpy as np
+
+
+def prepare(values):
+    return jitter(values)
+
+
+def jitter(values):
+    return [v + np.random.normal() for v in values]
+'''
+
+HELPERS_GOOD = '''\
+def prepare(values, rng):
+    return jitter(values, rng)
+
+
+def jitter(values, rng):
+    return [v + rng.normal() for v in values]
+'''
+
+
+class TestTransitiveReachability:
+    def test_sink_two_calls_away_is_found_with_provenance(self):
+        result = lint_sources(
+            {"src/repro/fit.py": FIT, "src/repro/helpers.py": HELPERS_BAD},
+            RNG_CONFIG,
+        )
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.path == "src/repro/helpers.py"
+        assert "numpy.random.normal" in violation.message
+        assert violation.provenance == (
+            "repro.fit.fit",
+            "repro.helpers.prepare",
+            "repro.helpers.jitter",
+        )
+        assert " -> ".join(violation.provenance) in violation.message
+
+    def test_threaded_rng_is_silent(self):
+        result = lint_sources(
+            {
+                "src/repro/fit.py": FIT.replace(
+                    "prepare(values)", "prepare(values, rng)"
+                ),
+                "src/repro/helpers.py": HELPERS_GOOD,
+            },
+            RNG_CONFIG,
+        )
+        assert result.clean
+
+    def test_unreachable_sink_is_silent(self):
+        # The sink exists but no seeded entry point reaches it.
+        result = lint_sources({"src/repro/helpers.py": HELPERS_BAD}, RNG_CONFIG)
+        assert result.clean
+
+
+SEEDING_ENTRY = '''\
+import random
+
+from repro.util.seeding import spawn_rng
+
+
+def run(seed):
+    rng = spawn_rng(seed)
+    return helper()
+
+
+def helper():
+    return random.random()
+'''
+
+PROCESS_DISPATCH = '''\
+import random
+
+from repro.parallel.engine import run_tasks
+
+
+def sweep(tasks, rng):
+    return run_tasks(_worker, tasks)
+
+
+def _worker(task):
+    return random.random()
+'''
+
+SUPPRESSED_SINK = '''\
+import numpy as np
+
+
+def fit(values, rng):
+    return jitter(values)
+
+
+def jitter(values):
+    # repro-lint: disable-next-line=RNG001 -- reviewed: exploratory-only path.
+    return np.random.normal()
+'''
+
+DEFAULT_RNG = '''\
+import numpy as np
+
+
+def fit(values, rng):
+    make_unseeded()
+    make_seeded(3)
+    return values
+
+
+def make_unseeded():
+    return np.random.default_rng()
+
+
+def make_seeded(seed):
+    return np.random.default_rng(seed)
+'''
+
+
+class TestEntryAndSinkShapes:
+    def test_seeding_helper_call_marks_the_entry(self):
+        result = lint_sources({"src/repro/run.py": SEEDING_ENTRY}, RNG_CONFIG)
+        assert len(result.violations) == 1
+        assert "random.random" in result.violations[0].message
+
+    def test_pool_dispatch_carries_the_contract_into_workers(self):
+        result = lint_sources({"src/repro/sweep.py": PROCESS_DISPATCH}, RNG_CONFIG)
+        assert len(result.violations) == 1
+        assert result.violations[0].provenance[-1] == "repro.sweep._worker"
+
+    def test_rng001_suppressed_sink_is_deliberate_and_exempt(self):
+        result = lint_sources({"src/repro/fit.py": SUPPRESSED_SINK}, RNG_CONFIG)
+        assert result.clean
+
+    def test_only_zero_arg_default_rng_is_a_sink(self):
+        result = lint_sources({"src/repro/gen.py": DEFAULT_RNG}, RNG_CONFIG)
+        assert len(result.violations) == 1
+        assert "default_rng" in result.violations[0].message
+        assert result.violations[0].provenance[-1] == "repro.gen.make_unseeded"

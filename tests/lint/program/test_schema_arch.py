@@ -1,0 +1,128 @@
+"""SCHEMA001X (schema-literal drift) and ARCH001 (import hygiene)."""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig, lint_sources
+
+SCHEMA_CONFIG = LintConfig(select=("SCHEMA001X",), program=True)
+ARCH_CONFIG = LintConfig(select=("ARCH001",), program=True)
+
+CANONICAL = 'REQUEST_SCHEMA = "repro.request/v1"\nTRACE_SCHEMA = "repro.trace/v1"\n'
+
+
+class TestSchemaDrift:
+    def test_library_dup_and_test_drift_fire(self, run_case):
+        result = run_case("schema_arch", ("SCHEMA001X",))
+        by_path = {v.path: v for v in result.violations}
+        assert set(by_path) == {"src/repro/wire.py", "tests/test_pin.py"}
+        assert "import it from repro.schemas" in by_path["src/repro/wire.py"].message
+        assert "drifted" in by_path["tests/test_pin.py"].message
+        # The matching pin (EXPECTED) in the test file is fine; only the
+        # stale spelling (STALE, line 7) is flagged.
+        assert by_path["tests/test_pin.py"].line == 7
+
+    def test_duplicate_inside_canonical_module_fires(self):
+        sources = {
+            "src/repro/schemas.py": CANONICAL
+            + 'LEGACY_REQUEST = "repro.request/v1"\n',
+        }
+        result = lint_sources(sources, SCHEMA_CONFIG)
+        assert len(result.violations) == 1
+        assert "more than once" in result.violations[0].message
+        assert result.violations[0].line == 3
+
+    def test_silent_when_canonical_module_absent(self):
+        # Linting a lone directory without the constants module must not
+        # flag every literal as drifted.
+        sources = {"tools/probe.py": 'SCHEMA = "repro.request/v1"\n'}
+        assert lint_sources(sources, SCHEMA_CONFIG).clean
+
+    def test_canonical_module_is_configurable(self):
+        sources = {
+            "src/repro/contracts.py": CANONICAL,
+            "src/repro/wire.py": 'SCHEMA = "repro.request/v1"\n',
+        }
+        config = LintConfig(
+            select=("SCHEMA001X",), program=True, schema_module="repro.contracts"
+        )
+        result = lint_sources(sources, config)
+        assert len(result.violations) == 1
+        assert "import it from repro.contracts" in result.violations[0].message
+
+    def test_docstrings_are_not_literals(self):
+        sources = {
+            "src/repro/schemas.py": CANONICAL,
+            "src/repro/doc.py": '"""Speaks repro.request/v1 on the wire."""\n',
+        }
+        assert lint_sources(sources, SCHEMA_CONFIG).clean
+
+
+LIB = '''\
+__all__ = ["used", "unused"]
+
+
+def used():
+    return 1
+
+
+def unused():
+    return 2
+'''
+
+
+class TestImportHygiene:
+    def test_cycle_and_dead_export_fire(self, run_case):
+        result = run_case("schema_arch", ("ARCH001",))
+        messages = {v.path: v.message for v in result.violations}
+        assert set(messages) == {"src/repro/a.py", "src/repro/lib.py"}
+        assert "cycle:repro.a<->repro.b" in messages["src/repro/a.py"]
+        assert "export:repro.lib.unused" in messages["src/repro/lib.py"]
+        # `used` is imported by tests/test_pin.py, so it is alive.
+        assert "repro.lib.used'" not in messages["src/repro/lib.py"]
+
+    def test_allowlist_ratchets_the_debt(self, run_case):
+        result = run_case(
+            "schema_arch",
+            ("ARCH001",),
+            arch_allow=("cycle:repro.a<->repro.b", "export:repro.lib.unused"),
+        )
+        assert result.clean
+
+    def test_stale_allowlist_entry_is_itself_a_finding(self, run_case):
+        result = run_case(
+            "schema_arch",
+            ("ARCH001",),
+            arch_allow=(
+                "cycle:repro.a<->repro.b",
+                "export:repro.lib.unused",
+                "export:repro.lib.gone",
+            ),
+        )
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.path == "pyproject.toml"
+        assert "stale arch-allow entry 'export:repro.lib.gone'" in violation.message
+
+    def test_dead_exports_need_a_consumer_side_program(self):
+        # Library-only lint runs cannot witness consumers: the export check
+        # is skipped entirely, including staleness of export: allow entries.
+        sources = {"src/repro/lib.py": LIB}
+        assert lint_sources(sources, ARCH_CONFIG).clean
+        config = LintConfig(
+            select=("ARCH001",),
+            program=True,
+            arch_allow=("export:repro.lib.unused",),
+        )
+        assert lint_sources(sources, config).clean
+
+    def test_lazy_in_function_imports_do_not_cycle(self):
+        sources = {
+            "src/repro/a.py": (
+                "def fa():\n    from repro.b import fb\n    return fb()\n"
+            ),
+            "src/repro/b.py": (
+                "def fb():\n    from repro.a import fa\n    return 1\n"
+            ),
+            "tests/test_ab.py": "from repro.a import fa\n",
+        }
+        assert lint_sources(sources, ARCH_CONFIG).clean

@@ -64,7 +64,7 @@ class TestFlags:
         (project / "pkg" / "dirty.py").write_text(DIRTY)
         assert main(["lint", "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["clean"] is False
         assert payload["counts"] == {"FLT001": 1}
         assert payload["violations"][0]["rule"] == "FLT001"

@@ -4,12 +4,29 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.lint.core import Violation
-from repro.lint.report import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.lint.report import (
+    JSON_SCHEMA_VERSION,
+    parse_report,
+    render_json,
+    render_text,
+)
 from repro.lint.runner import LintResult
 
 V1 = Violation(path="src/a.py", line=3, column=4, rule="RNG001", message="no ad-hoc rng")
 V2 = Violation(path="src/b.py", line=9, column=0, rule="FLT001", message="exact compare")
+VP = Violation(
+    path="src/c.py",
+    line=12,
+    column=8,
+    rule="RNG002",
+    message="global randomness reachable from seeded entry",
+    end_line=12,
+    kind="program",
+    provenance=("pkg.fit", "pkg.helper", "pkg.jitter"),
+)
 
 
 class TestTextReporter:
@@ -31,7 +48,7 @@ class TestJsonReporter:
     def test_schema(self):
         result = LintResult(violations=(V1, V2), files_checked=5)
         payload = json.loads(render_json(result))
-        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["version"] == JSON_SCHEMA_VERSION == 2
         assert payload["files_checked"] == 5
         assert payload["clean"] is False
         assert payload["counts"] == {"FLT001": 1, "RNG001": 1}
@@ -42,6 +59,9 @@ class TestJsonReporter:
                 "line": 3,
                 "column": 4,
                 "message": "no ad-hoc rng",
+                "end_line": 0,
+                "kind": "file",
+                "provenance": [],
             },
             {
                 "rule": "FLT001",
@@ -49,8 +69,18 @@ class TestJsonReporter:
                 "line": 9,
                 "column": 0,
                 "message": "exact compare",
+                "end_line": 0,
+                "kind": "file",
+                "provenance": [],
             },
         ]
+
+    def test_program_finding_carries_kind_and_provenance(self):
+        payload = json.loads(render_json(LintResult(violations=(VP,), files_checked=1)))
+        entry = payload["violations"][0]
+        assert entry["kind"] == "program"
+        assert entry["provenance"] == ["pkg.fit", "pkg.helper", "pkg.jitter"]
+        assert entry["end_line"] == 12
 
     def test_clean_document(self):
         payload = json.loads(render_json(LintResult(violations=(), files_checked=2)))
@@ -62,3 +92,47 @@ class TestJsonReporter:
         result = LintResult(violations=(V1,), files_checked=1)
         assert render_json(result) == render_json(result)
         assert render_json(result).endswith("\n")
+
+
+class TestRoundTrip:
+    def test_v2_round_trips_exactly(self):
+        result = LintResult(violations=(V1, V2, VP), files_checked=3)
+        rendered = render_json(result)
+        parsed = parse_report(rendered)
+        assert parsed.violations == result.violations
+        assert parsed.files_checked == result.files_checked
+        # And the re-render is byte-identical: no information is lost.
+        assert render_json(parsed) == rendered
+
+    def test_v1_documents_still_parse(self):
+        # Backward compatibility: a v1 report (no end_line/kind/provenance)
+        # reads back with the v2 defaults.
+        legacy = json.dumps(
+            {
+                "version": 1,
+                "files_checked": 4,
+                "clean": False,
+                "counts": {"RNG001": 1},
+                "violations": [
+                    {
+                        "rule": "RNG001",
+                        "path": "src/a.py",
+                        "line": 3,
+                        "column": 4,
+                        "message": "no ad-hoc rng",
+                    }
+                ],
+            }
+        )
+        parsed = parse_report(legacy)
+        assert parsed.violations == (V1,)
+        assert parsed.violations[0].kind == "file"
+        assert parsed.violations[0].provenance == ()
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported lint report version"):
+            parse_report(json.dumps({"version": 99, "violations": []}))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            parse_report("[1, 2]")

@@ -94,6 +94,8 @@ class TestValidation:
 
     def test_wrong_schema_rejected(self):
         records = self._valid()
+        # repro-lint: disable-next-line=SCHEMA001X -- deliberately-invalid
+        # version: this test proves the reader rejects unknown schemas.
         records[0] = {**records[0], "schema": "repro.trace/v999"}
         with pytest.raises(ValueError, match="unsupported trace schema"):
             validate_trace_records(records)

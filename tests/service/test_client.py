@@ -1,0 +1,20 @@
+"""The vendorable client's sanctioned schema copy must track the canon.
+
+``repro.service.client`` deliberately respells ``REQUEST_SCHEMA`` instead
+of importing it (the client must stay stdlib-only and importable without
+the package root); its SCHEMA001X suppression comment points here. If a
+schema bump ever touches one spelling and not the other, this is the test
+that fails.
+"""
+
+from repro import schemas
+from repro.service import client
+
+
+def test_client_request_schema_pins_canonical():
+    assert client.REQUEST_SCHEMA == schemas.REQUEST_SCHEMA
+
+
+def test_client_payload_carries_canonical_schema():
+    # The constant is what actually goes on the wire.
+    assert client.REQUEST_SCHEMA == schemas.ALL_SCHEMAS["REQUEST_SCHEMA"]

@@ -67,6 +67,8 @@ class TestParseRequest:
     @pytest.mark.parametrize(
         "mutation, fragment",
         [
+            # repro-lint: disable-next-line=SCHEMA001X -- deliberately-invalid
+            # version: this case proves the parser rejects unknown schemas.
             ({"schema": "repro.request/v0"}, "unsupported request schema"),
             ({"id": ""}, "'id' must be a non-empty string"),
             ({"tenant": 7}, "'tenant' must be a non-empty string"),
