@@ -14,7 +14,12 @@ from repro.obs import recording, worker_recording
 from repro.obs.sink import TRACE_FILENAME, build_trace_records, write_trace
 from repro.parallel.engine import EngineConfig, EngineSession, Progress, TaskFailure
 from repro.regression.modeler import ModelResult
-from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
+from repro.run.manifest import (
+    RunManifest,
+    config_fingerprint,
+    legacy_config_fingerprint,
+    rng_fingerprint,
+)
 from repro.util.seeding import as_generator, spawn_generators
 from repro.util.timing import StageTimer, Timer
 
@@ -50,6 +55,13 @@ class CaseStudyResult:
     #: Path of the telemetry trace artifact (``trace.jsonl``), set when the
     #: study ran with telemetry enabled and a run directory.
     trace_path: "str | None" = None
+    #: True when this run covered only a ``shard`` slice of the modeler
+    #: tasks; outcomes/timings then cover the journaled subset only --
+    #: merge the shard dirs (``repro-model merge-run``) and resume the
+    #: merged dir for the full study.
+    partial: bool = False
+    #: ``(index, count)`` when the run was a static shard slice.
+    shard: "tuple[int, int] | None" = None
 
     def median_error(self, modeler: str) -> float:
         """Fig. 4 bar: median relative error over performance-relevant kernels."""
@@ -113,6 +125,7 @@ def run_case_study(
     run_dir: "str | None" = None,
     resume: bool = False,
     adaptation_cache=None,
+    shard: "tuple[int, int] | None" = None,
 ) -> CaseStudyResult:
     """Simulate the campaign and evaluate every modeler on it.
 
@@ -149,6 +162,14 @@ def run_case_study(
     instead of re-adapting. Results are bit-identical with the cache on,
     off, warm, or cold -- adaptation RNG streams are derived from the
     cluster key, never from the modeler streams.
+
+    ``shard=(i, n)`` runs only the modeler tasks with ``index % n == i``
+    into this run dir; the result is then *partial* (its outcomes cover
+    the journaled modelers only). Merge the shard dirs with
+    :func:`repro.run.merge.merge_runs` and resume the merged dir for the
+    full study -- all shards and the merged dir share one configuration
+    fingerprint because the shard slice lives in manifest meta, not in the
+    hashed configuration.
     """
     modelers = create_modelers(modelers)
     adaptation_store, adapting_dnns = (None, [])
@@ -158,16 +179,18 @@ def run_case_study(
         adaptation_store, adapting_dnns = resolve_store(
             adaptation_cache, list(modelers.values())
         )
+    if shard is not None and run_dir is None:
+        raise ValueError("shard requires run_dir: the journal is the product")
     journal = None
     if run_dir is not None:
-        fingerprint = config_fingerprint(
-            application.name, rng_fingerprint(rng), tuple(sorted(modelers))
-        )
+        parts = (application.name, rng_fingerprint(rng), tuple(sorted(modelers)))
         journal = RunManifest.open(
             run_dir,
-            fingerprint,
+            config_fingerprint(*parts),
             resume=resume,
             meta={"kind": "casestudy", "application": application.name},
+            shard=shard,
+            legacy_config_hash=legacy_config_fingerprint(*parts),
         )
     elif resume:
         raise ValueError("resume=True requires run_dir")
@@ -235,6 +258,7 @@ def run_case_study(
                             progress=progress,
                             journal=journal,
                             pre_pass=pre_pass,
+                            shard=shard,
                         )
 
             outcomes: list[KernelOutcome] = []
@@ -244,7 +268,11 @@ def run_case_study(
             # entry (its name absent from the result) instead of aborting the
             # study. Journaled task payloads may be 3-tuples (telemetry off)
             # or 4-tuples (telemetry on), independent of the current toggle.
-            for entry in (r for r in raw if not isinstance(r, TaskFailure)):
+            # None slots belong to other shards (a sharded study is partial
+            # by design); TaskFailure slots are crashed modelers.
+            for entry in (
+                r for r in raw if r is not None and not isinstance(r, TaskFailure)
+            ):
                 name, results, seconds = entry[0], entry[1], entry[2]
                 total_seconds[name] = seconds
                 if tel.enabled and len(entry) > 3:
@@ -268,12 +296,17 @@ def run_case_study(
         outcomes=outcomes,
         total_seconds=total_seconds,
         stage_seconds=stages.seconds,
+        partial=any(r is None for r in raw),
+        shard=shard,
     )
     if tel.enabled and journal is not None:
+        meta = {"kind": "casestudy", "run_id": journal.run_id}
+        if shard is not None:
+            meta["shard"] = list(shard)
         records = build_trace_records(
             tel,
             stage_seconds=stages.seconds,
-            meta={"kind": "casestudy", "run_id": journal.run_id},
+            meta=meta,
         )
         trace_file = journal.directory / TRACE_FILENAME
         digest = write_trace(trace_file, records)

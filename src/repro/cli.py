@@ -9,6 +9,7 @@ Subcommands::
     repro-model evaluate --params 1              synthetic sweep (Fig. 3 tables)
     repro-model casestudy kripke                 run a simulated case study
     repro-model trace <run-dir>                  render a run's telemetry trace
+    repro-model merge-run OUT DIR...             merge sharded run directories
     repro-model serve --socket /tmp/repro.sock   long-lived modeling service
 
 ``--method`` accepts any registered modeler spec string, e.g.
@@ -50,6 +51,31 @@ def _load_experiment(path: str, keep_going: bool = False, manifest=None):
             file=sys.stderr,
         )
     return experiment
+
+
+def _shard_spec(spec: str) -> "tuple[int, int]":
+    """Argparse type for ``--shard``: ``i/n`` with ``0 <= i < n``."""
+    try:
+        index_text, count_text = spec.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected --shard i/n (e.g. 0/2), got {spec!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"--shard {spec!r}: need 0 <= i < n"
+        )
+    return index, count
+
+
+def _print_partial_summary(kind: str, run_dir: str, done: str) -> None:
+    """What a sharded/stealing run prints instead of result tables."""
+    print(f"partial {kind}: {done} journaled in {run_dir}")
+    print(
+        "merge the shard run dirs with 'repro-model merge-run OUT DIR...' "
+        "and re-run with --resume on the merged dir to render tables"
+    )
 
 
 def _method_spec(spec: str) -> str:
@@ -239,7 +265,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         run_dir=args.resume or args.run_dir,
         resume=args.resume is not None,
         adaptation_cache=adaptation_cache,
+        shard=args.shard,
+        steal=args.steal,
     )
+    if result.partial:
+        _print_partial_summary(
+            "sweep",
+            args.resume or args.run_dir,
+            f"{result.completed_batches}/{result.total_batches} task batch(es)",
+        )
+        if result.trace_path:
+            print(f"telemetry trace: {result.trace_path} (render with 'repro-model trace')")
+        return 0
     print(format_accuracy_table(result, title=f"Model accuracy, m={args.params} (Fig. 3)"))
     print()
     print(format_power_table(result, title=f"Predictive power, m={args.params} (Fig. 3)"))
@@ -441,7 +478,16 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         run_dir=args.resume or args.run_dir,
         resume=args.resume is not None,
         adaptation_cache=adaptation_cache,
+        shard=args.shard,
     )
+    if result.partial:
+        done = ", ".join(result.modeler_names()) or "no modelers yet"
+        _print_partial_summary(
+            "case study", args.resume or args.run_dir, f"modeler(s) {done}"
+        )
+        if result.trace_path:
+            print(f"telemetry trace: {result.trace_path} (render with 'repro-model trace')")
+        return 0
     print(f"== {result.application} ==")
     print(f"noise (Fig. 5): {result.noise.format()}")
     if result.stage_seconds:
@@ -474,6 +520,28 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     print(render_table(headers, rows))
     if result.trace_path:
         print(f"telemetry trace: {result.trace_path} (render with 'repro-model trace')")
+    return 0
+
+
+def _cmd_merge_run(args: argparse.Namespace) -> int:
+    from repro.run.manifest import RunManifestError
+    from repro.run.merge import merge_runs
+
+    try:
+        merged = merge_runs(args.output, args.shards)
+    except RunManifestError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    sources = merged.meta.get("merged_from", [])
+    print(
+        f"merged {len(sources)} shard(s) into {args.output} "
+        f"(run {merged.run_id}, {merged.task_count()} journaled task(s))"
+    )
+    for source in sources:
+        shard = source.get("shard")
+        label = f"shard {shard[0]}/{shard[1]}" if shard else "unsharded"
+        print(f"  {source['directory']}: run {source['run_id']} ({label})")
+    print("render tables by resuming the merged dir (e.g. 'evaluate ... --resume')")
     return 0
 
 
@@ -651,6 +719,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="RUN_DIR", default=None,
         help="resume a journaled sweep, replaying completed tasks bit-identically",
     )
+    g_shard = p_eval.add_mutually_exclusive_group()
+    g_shard.add_argument(
+        "--shard", type=_shard_spec, default=None, metavar="I/N",
+        help="run only task batches with index %% N == I into this run dir "
+        "(one dir per shard; reassemble with 'repro-model merge-run')",
+    )
+    g_shard.add_argument(
+        "--steal", action="store_true",
+        help="work-stealing mode: claim unjournaled task blocks from a run "
+        "dir shared by several workers (requires --run-dir on a shared "
+        "filesystem)",
+    )
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_gen = sub.add_parser("generate", help="synthesize an experiment file")
@@ -727,7 +807,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="RUN_DIR", default=None,
         help="resume a journaled case study, replaying completed modelers",
     )
+    p_case.add_argument(
+        "--shard", type=_shard_spec, default=None, metavar="I/N",
+        help="run only modeler tasks with index %% N == I into this run dir "
+        "(one dir per shard; reassemble with 'repro-model merge-run')",
+    )
     p_case.set_defaults(func=_cmd_casestudy)
+
+    p_merge = sub.add_parser(
+        "merge-run",
+        help="merge sharded run directories into one (bit-identical journal)",
+    )
+    p_merge.add_argument("output", help="fresh directory for the merged run")
+    p_merge.add_argument(
+        "shards", nargs="+", metavar="RUN_DIR",
+        help="shard run directories (same configuration fingerprint, disjoint "
+        "task indices)",
+    )
+    p_merge.set_defaults(func=_cmd_merge_run)
 
     p_serve = sub.add_parser(
         "serve", help="run the long-lived modeling service (unix socket / localhost HTTP)"

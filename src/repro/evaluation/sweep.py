@@ -31,7 +31,13 @@ from repro.noise.registry import noise_axis, noise_for_level
 from repro.obs import recording, worker_recording
 from repro.obs.sink import TRACE_FILENAME, build_trace_records, write_trace
 from repro.parallel.engine import EngineConfig, EngineSession, Progress, TaskFailure
-from repro.run.manifest import RunManifest, config_fingerprint, rng_fingerprint
+from repro.run.claims import ClaimStore
+from repro.run.manifest import (
+    RunManifest,
+    config_fingerprint,
+    legacy_config_fingerprint,
+    rng_fingerprint,
+)
 from repro.synthesis.evaluation_points import evaluation_points
 from repro.synthesis.functions import (
     random_multi_parameter_function,
@@ -196,6 +202,17 @@ class SweepResult:
     #: Path of the telemetry trace artifact (``trace.jsonl``), set when the
     #: sweep ran with telemetry enabled and a run directory.
     trace_path: "str | None" = None
+    #: True when this run covered only part of the task space (a ``shard``
+    #: slice, or a work-stealing worker that exited while other workers
+    #: still held claims). Partial results carry no cells -- the journal is
+    #: the product; merge the shards (``repro-model merge-run``) or resume
+    #: the completed run dir to render tables.
+    partial: bool = False
+    #: ``(index, count)`` when the run was a static shard slice.
+    shard: "tuple[int, int] | None" = None
+    #: Journal coverage at the end of this run (batches, not functions).
+    completed_batches: int = 0
+    total_batches: int = 0
 
     def cell(self, noise: float, modeler: str) -> CellResult:
         return self.cells[(noise, modeler)]
@@ -457,6 +474,8 @@ def run_sweep(
     resume: bool = False,
     adaptation_cache=None,
     session: "EngineSession | None" = None,
+    shard: "tuple[int, int] | None" = None,
+    steal: bool = False,
 ) -> SweepResult:
     """Run the full sweep through the fault-tolerant engine.
 
@@ -500,6 +519,16 @@ def run_sweep(
     across repeated sweeps; it must have been built for the same
     ``config``, and ``engine``/``processes`` are then taken from the
     session. The session stays open for the caller to reuse or close.
+
+    ``shard=(i, n)`` runs only the strided batch slice ``index % n == i``
+    into its own run dir (one dir per shard; merge them afterwards with
+    :func:`repro.run.merge.merge_runs`). ``steal=True`` instead points N
+    workers at *one shared* run dir where each claims unjournaled batch
+    blocks (see :mod:`repro.run.claims`). Both require ``run_dir`` and
+    return a *partial* :class:`SweepResult` (no cells) whenever any batch
+    of the full sweep is still missing from this run's journal view. The
+    shard slice is deliberately not part of the configuration fingerprint:
+    every shard, the merged dir, and the unsharded run share one hash.
     """
     if not modelers:
         raise ValueError("at least one modeler is required")
@@ -517,18 +546,36 @@ def run_sweep(
         if adaptation_cache is not None
         else (None, [])
     )
+    if shard is not None and steal:
+        raise ValueError("shard and steal are mutually exclusive")
+    if (shard is not None or steal) and run_dir is None:
+        raise ValueError("shard/steal require run_dir: the journal is the product")
     journal = None
+    claims = None
     if run_dir is not None:
-        fingerprint = config_fingerprint(
-            config, rng_fingerprint(rng), tuple(sorted(modelers))
-        )
-        journal = RunManifest.open(
-            run_dir,
-            fingerprint,
-            resume=resume,
-            meta={"kind": "sweep", "n_params": config.n_params},
-            payload_validator=_validate_batch_payload,
-        )
+        parts = (config, rng_fingerprint(rng), tuple(sorted(modelers)))
+        fingerprint = config_fingerprint(*parts)
+        legacy = legacy_config_fingerprint(*parts)
+        meta = {"kind": "sweep", "n_params": config.n_params}
+        if steal:
+            journal = RunManifest.open_shared(
+                run_dir,
+                fingerprint,
+                meta=meta,
+                payload_validator=_validate_batch_payload,
+                legacy_config_hash=legacy,
+            )
+            claims = ClaimStore(run_dir)
+        else:
+            journal = RunManifest.open(
+                run_dir,
+                fingerprint,
+                resume=resume,
+                meta=meta,
+                payload_validator=_validate_batch_payload,
+                shard=shard,
+                legacy_config_hash=legacy,
+            )
     elif resume:
         raise ValueError("resume=True requires run_dir")
     gen = as_generator(rng)
@@ -572,6 +619,8 @@ def run_sweep(
                             progress=progress,
                             journal=journal,
                             pre_pass=pre_pass,
+                            shard=shard,
+                            claims=claims,
                         )
                     else:
                         with EngineSession(
@@ -585,10 +634,18 @@ def run_sweep(
                                 progress=progress,
                                 journal=journal,
                                 pre_pass=pre_pass,
+                                shard=shard,
+                                claims=claims,
                             )
             raw: list[TaskOutcome] = []
             engine_failures = 0
+            # A sharded/stealing run sees None in every slot neither it nor
+            # (via the journal) another worker has completed; the sweep is
+            # then partial and carries no cells -- its journal is the product.
+            missing_batches = sum(1 for entry in raw_batches if entry is None)
             for batch, entry in zip(batches, raw_batches):
+                if entry is None:
+                    continue
                 if isinstance(entry, TaskFailure):
                     engine_failures += 1
                     raw.extend(_failure_outcome(config, modelers) for _ in batch)
@@ -605,6 +662,18 @@ def run_sweep(
             stages.add("total", total.elapsed)
     if tel.enabled:
         tel.metrics.absorb_stage_seconds(stages.seconds, prefix="sweep")
+    if missing_batches:
+        result = SweepResult(
+            config=config,
+            cells={},
+            stage_seconds=stages.seconds,
+            engine_failures=engine_failures,
+            partial=True,
+            shard=shard,
+            completed_batches=len(batches) - missing_batches,
+            total_batches=len(batches),
+        )
+        return _record_trace(result, tel, stages, journal)
     cells: dict[tuple[float, str], CellResult] = {}
     for idx, noise in enumerate(config.noise_levels):
         block = raw[idx * config.n_functions : (idx + 1) * config.n_functions]
@@ -631,13 +700,19 @@ def run_sweep(
         cells=cells,
         stage_seconds=stages.seconds,
         engine_failures=engine_failures,
+        completed_batches=len(batches),
+        total_batches=len(batches),
     )
+    return _record_trace(result, tel, stages, journal)
+
+
+def _record_trace(result: SweepResult, tel, stages, journal) -> SweepResult:
+    """Write and register the run's trace artifact (telemetry + run dir only)."""
     if tel.enabled and journal is not None:
-        records = build_trace_records(
-            tel,
-            stage_seconds=stages.seconds,
-            meta={"kind": "sweep", "run_id": journal.run_id},
-        )
+        meta = {"kind": "sweep", "run_id": journal.run_id}
+        if result.shard is not None:
+            meta["shard"] = list(result.shard)
+        records = build_trace_records(tel, stage_seconds=stages.seconds, meta=meta)
         trace_file = journal.directory / TRACE_FILENAME
         digest = write_trace(trace_file, records)
         journal.record_artifact("trace", TRACE_FILENAME, digest)

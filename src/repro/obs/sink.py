@@ -38,6 +38,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "TRACE_FILENAME",
     "build_trace_records",
+    "merge_trace_records",
     "write_trace",
     "read_trace",
     "validate_trace_records",
@@ -84,6 +85,111 @@ def build_trace_records(
     for name, data in snapshot.get("histograms", {}).items():
         records.append({"type": "metric", "kind": "histogram", "name": name, **data})
     return records
+
+
+def _prefix_span_ids(record: dict, prefix: str) -> dict:
+    """Namespace one shard's span ids so merged shards cannot collide.
+
+    Span ids are ``<pid>-<seq>``; two shards on different hosts can reuse
+    the same pid, so a merged trace prefixes every id (and every non-root
+    parent pointer) with the shard's tag before absorption.
+    """
+    out = dict(record)
+    out["span_id"] = f"{prefix}:{record['span_id']}"
+    if record.get("parent_id") is not None:
+        out["parent_id"] = f"{prefix}:{record['parent_id']}"
+    return out
+
+
+def merge_trace_records(
+    shard_records: "list[list[dict]]", meta: "dict | None" = None
+) -> list[dict]:
+    """Merge N shard traces into one connected ``repro.trace/v1`` trace.
+
+    Each shard's spans are namespaced (see :func:`_prefix_span_ids`) and
+    re-parented under a fresh ``merge.run`` root via
+    :meth:`repro.obs.Tracer.absorb`, so the merged trace is still one tree
+    with per-shard subtrees. ``stage`` seconds are summed per stage name
+    (worker-summed seconds add across shards exactly as they add across
+    workers); counters sum, gauges keep the last shard's value, and
+    histograms with identical boundaries add element-wise (mismatched
+    boundaries are refused -- they would silently mis-bin).
+    """
+    from repro.obs.trace import Tracer
+
+    stage_totals: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    counters: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    tracer = Tracer()
+    with tracer.span("merge.run", shards=len(shard_records)) as root:
+        for idx, records in enumerate(shard_records):
+            validate_trace_records(records)
+            spans = []
+            for record in records[1:]:
+                kind = record["type"]
+                if kind == "stage":
+                    stage = record["stage"]
+                    stage_totals[stage] = stage_totals.get(stage, 0.0) + float(
+                        record["seconds"]
+                    )
+                elif kind == "span":
+                    span = {k: v for k, v in record.items() if k != "type"}
+                    spans.append(_prefix_span_ids(span, f"s{idx}"))
+                elif kind == "metric":
+                    name = record["name"]
+                    if record["kind"] == "counter":
+                        counters[name] = counters.get(name, 0) + record["value"]
+                    elif record["kind"] == "gauge":
+                        gauges[name] = record["value"]
+                    else:
+                        merged = histograms.get(name)
+                        if merged is None:
+                            histograms[name] = {
+                                "boundaries": list(record["boundaries"]),
+                                "counts": list(record["counts"]),
+                                "sum": record["sum"],
+                                "count": record["count"],
+                            }
+                        else:
+                            if list(record["boundaries"]) != merged["boundaries"]:
+                                raise ValueError(
+                                    f"histogram {name!r}: shard boundaries differ; "
+                                    "refusing to merge mismatched bucket layouts"
+                                )
+                            merged["counts"] = [
+                                a + b for a, b in zip(merged["counts"], record["counts"])
+                            ]
+                            merged["sum"] += record["sum"]
+                            merged["count"] += record["count"]
+            tracer.absorb(spans, parent_id=root.span_id)
+    merged_records: list[dict] = [
+        {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "meta": dict(meta or {}),
+        }
+    ]
+    for stage in sorted(stage_totals):
+        merged_records.append(
+            {"type": "stage", "stage": stage, "seconds": stage_totals[stage]}
+        )
+    for span in tracer.export():
+        merged_records.append({"type": "span", **span})
+    for name in sorted(counters):
+        merged_records.append(
+            {"type": "metric", "kind": "counter", "name": name, "value": counters[name]}
+        )
+    for name in sorted(gauges):
+        merged_records.append(
+            {"type": "metric", "kind": "gauge", "name": name, "value": gauges[name]}
+        )
+    for name in sorted(histograms):
+        merged_records.append(
+            {"type": "metric", "kind": "histogram", "name": name, **histograms[name]}
+        )
+    return merged_records
 
 
 def write_trace(path: "str | Path", records: "list[dict]") -> str:

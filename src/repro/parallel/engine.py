@@ -315,17 +315,56 @@ class EngineSession:
         progress: "Callable[[Progress], None] | None" = None,
         journal=None,
         pre_pass: "Callable[[], None] | None" = None,
-    ) -> "list[R | TaskFailure]":
+        shard: "tuple[int, int] | None" = None,
+        claims=None,
+    ) -> "list[R | TaskFailure | None]":
         """Map ``fn`` over ``items`` under the engine's fault-tolerance policy.
 
         Semantics match :func:`run_tasks`; see there for the ``journal``
         and ``pre_pass`` contracts. ``fn`` may differ between ``run`` calls
         on the same session -- it travels with the chunks, not the workers.
+
+        ``shard=(i, n)`` restricts execution to the strided slice
+        ``index % n == i`` of the task index space -- the static multi-host
+        split. ``claims`` (a :class:`repro.run.claims.ClaimStore`) replaces
+        the static split with work stealing: the session repeatedly claims
+        the next unjournaled index block and runs it, until nothing
+        claimable remains. Both modes fill unexecuted slots from the
+        journal where possible and leave ``None`` in slots no one has
+        completed yet -- a sharded result is *partial* by design and is
+        made whole by ``repro.run.merge`` (or by the journal once every
+        shard finishes).
         """
         if self._closed:
             raise RuntimeError("EngineSession is closed")
+        if shard is not None and claims is not None:
+            raise ValueError("shard and claims are mutually exclusive")
+        if claims is not None and journal is None:
+            raise ValueError(
+                "work stealing requires a journal: claims gate dispatch, but "
+                "completion truth lives in the journal"
+            )
+        if shard is not None and journal is None:
+            raise ValueError(
+                "shard requires a journal: a shard slice produces partial "
+                "results whose only product is the journaled slice"
+            )
+        # Materialize exactly once, before slot-restoration sizes the result
+        # list and before dispatch -- a consumable iterator read twice would
+        # hand resume restoration and dispatch different item orders.
         items = list(items)
-        state = _RunState(len(items), progress)
+        if shard is not None:
+            shard_index, shard_count = int(shard[0]), int(shard[1])
+            if shard_count < 1 or not 0 <= shard_index < shard_count:
+                raise ValueError(
+                    f"invalid shard {shard!r}: expected (index, count) with "
+                    "0 <= index < count"
+                )
+            universe = [
+                index for index in range(len(items)) if index % shard_count == shard_index
+            ]
+        else:
+            universe = list(range(len(items)))
         restored: dict[int, Any] = {}
         if journal is not None:
             restored = {
@@ -333,24 +372,35 @@ class EngineSession:
                 for index, value in journal.completed_tasks().items()
                 if 0 <= index < len(items)
             }
-            state.skipped = len(restored)
+        pending = [index for index in universe if index not in restored]
+        state = _RunState(len(universe), progress)
+        state.skipped = len(universe) - len(pending)
         n_procs = self.processes
         telemetry = get_telemetry()
         with telemetry.tracer.span(
             "engine.run_tasks", tasks=len(items), processes=n_procs, restored=len(restored)
         ):
-            if pre_pass is not None and len(restored) < len(items):
+            if pre_pass is not None and (pending or claims is not None):
                 with telemetry.tracer.span("engine.pre_pass"):
                     pre_pass()
+            results: list = [None] * len(items)
+            for index, value in restored.items():
+                results[index] = value
+            if claims is not None:
+                self._run_stealing(fn, items, n_procs, results, state, journal, claims)
             # Tiny pending sets run in-process -- unless a warm pool already
             # exists, in which case dispatching to it is cheaper than
             # duplicating the workers' warmed state here.
-            if n_procs <= 1 or (
-                self._pool is None and len(items) - len(restored) <= 1
-            ):
-                results = self._run_serial(fn, items, state, restored, journal)
+            elif n_procs <= 1 or (self._pool is None and len(pending) <= 1):
+                self._run_serial(fn, items, pending, results, state, journal)
             else:
-                results = self._run_pool(fn, items, n_procs, state, restored, journal)
+                self._run_pool(fn, items, n_procs, pending, results, state, journal)
+            if (shard is not None or claims is not None) and journal is not None:
+                # Fill slots other shards/workers journaled meanwhile; slots
+                # nobody completed stay None (partial by design).
+                for index, value in journal.completed_tasks().items():
+                    if 0 <= index < len(items) and results[index] is None:
+                        results[index] = value
         # One unified channel for the engine's operational counters: the same
         # numbers the Progress callback streams, absorbed into the metrics
         # registry once per run call.
@@ -365,14 +415,10 @@ class EngineSession:
             )
         return results
 
-    def _run_serial(self, fn, items, state, restored, journal):
+    def _run_serial(self, fn, items, pending, results, state, journal):
         config = self.config
-        pending = [index for index in range(len(items)) if index not in restored]
         if pending:
             self._ensure_serial_init()
-        results: list = [None] * len(items)
-        for index, value in restored.items():
-            results[index] = value
         for index in pending:
             item = items[index]
             attempts = 0
@@ -436,14 +482,11 @@ class EngineSession:
             state.emit()
         return failed, []
 
-    def _run_pool(self, fn, items, n_procs, state, restored, journal):
+    def _run_pool(self, fn, items, n_procs, pending_indices, results, state, journal):
         config = self.config
         chunksize = config.chunksize or max(1, math.ceil(len(items) / (n_procs * 4)))
-        results: list = [None] * len(items)
-        for index, value in restored.items():
-            results[index] = value
         pending: list[tuple[int, Any]] = [
-            (index, item) for index, item in enumerate(items) if index not in restored
+            (index, items[index]) for index in pending_indices
         ]
         attempt = 1
         pool = self._ensure_pool(n_procs)
@@ -485,6 +528,39 @@ class EngineSession:
                 state.emit()
             return results
 
+    def _run_stealing(self, fn, items, n_procs, results, state, journal, claims):
+        """Work-stealing dispatch: claim unjournaled blocks until none remain.
+
+        Each iteration re-reads the journal (the shared completion truth --
+        other workers journal into the same run dir), leases the next block
+        that still holds unjournaled work, runs exactly its unfinished
+        indices through the normal serial/pool machinery, and releases the
+        lease. ``claim_next`` returning ``None`` means every block is
+        either fully journaled or live-claimed by another worker; what
+        those workers are still computing stays ``None`` in this session's
+        results.
+        """
+        block_size = self.config.chunksize or max(
+            1, math.ceil(len(items) / max(1, n_procs) / 4)
+        )
+        while True:
+            journaled = set(journal.completed_tasks().keys())
+            claim = claims.claim_next(len(items), journaled, block_size)
+            if claim is None:
+                return results
+            try:
+                pending = [
+                    index
+                    for index in claim.indices()
+                    if index < len(items) and index not in journaled
+                ]
+                if n_procs <= 1 or (self._pool is None and len(pending) <= 1):
+                    self._run_serial(fn, items, pending, results, state, journal)
+                else:
+                    self._run_pool(fn, items, n_procs, pending, results, state, journal)
+            finally:
+                claims.release(claim)
+
 
 def run_tasks(
     fn: Callable[[T], R],
@@ -495,7 +571,9 @@ def run_tasks(
     progress: "Callable[[Progress], None] | None" = None,
     journal=None,
     pre_pass: "Callable[[], None] | None" = None,
-) -> "list[R | TaskFailure]":
+    shard: "tuple[int, int] | None" = None,
+    claims=None,
+) -> "list[R | TaskFailure | None]":
     """Map ``fn`` over ``items`` under the engine's fault-tolerance policy.
 
     A one-shot :class:`EngineSession`: the pool (if any) lives for exactly
@@ -518,6 +596,22 @@ def run_tasks(
     preparation whose cost must be paid once rather than per worker -- e.g.
     warming the domain-adaptation weight store so workers load checkpoints
     instead of re-adapting.
+
+    ``items`` may be any iterable, including a one-shot generator: it is
+    materialized exactly once, before resume restoration sizes the result
+    list and before any dispatch.
+
+    ``shard``/``claims`` select the multi-host modes (static strided slice
+    / work stealing); see :meth:`EngineSession.run`. Sharded results are
+    partial: slots no shard has journaled yet are ``None``.
     """
     with EngineSession(config, initializer=initializer, initargs=initargs) as session:
-        return session.run(fn, items, progress=progress, journal=journal, pre_pass=pre_pass)
+        return session.run(
+            fn,
+            items,
+            progress=progress,
+            journal=journal,
+            pre_pass=pre_pass,
+            shard=shard,
+            claims=claims,
+        )

@@ -1,0 +1,185 @@
+"""Work-stealing claim files: atomic range leases over a shared run dir.
+
+In ``--steal`` mode N processes (typically on N hosts sharing a filesystem)
+point at one run directory and race to *claim* contiguous blocks of the
+task index space instead of being pinned to a static ``--shard i/n`` slice.
+The protocol is lock-free and built entirely from POSIX filesystem
+atomicity:
+
+``claims/NNNNNN-NNNNNN.claim``
+    One file per claimed half-open index block ``[start, stop)``. A claim
+    is taken with ``O_CREAT | O_EXCL`` -- exactly one of N racing creators
+    succeeds; the rest move on to the next block. The file body records the
+    owner (host-pid) and claim time for post-mortem debugging; correctness
+    never depends on reading it.
+
+Stale-claim expiry
+    A SIGKILLed worker leaves its claim file behind. Other workers treat a
+    claim whose mtime is older than ``stale_after`` seconds as abandoned
+    and *reclaim* it: rename the stale file to a unique tombstone (rename
+    is atomic, so exactly one reclaimer wins even when several notice the
+    same stale claim), unlink the tombstone, and retry the exclusive
+    create. Live workers periodically :meth:`ClaimStore.refresh` their
+    claim's mtime to stay ahead of the expiry clock.
+
+Claims gate *dispatch*, not truth: completion truth lives in the journal.
+A reclaimed block re-runs only the indices the dead worker never journaled,
+and per-index RNG streams make the re-run bit-identical, so double
+execution of an index (possible in the SIGKILL-just-after-journal-append
+window) is harmless -- the journal's last-record-wins replay yields the
+same payload bytes either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Claim", "ClaimStore", "CLAIMS_DIR", "DEFAULT_STALE_AFTER"]
+
+CLAIMS_DIR = "claims"
+
+#: Seconds without an mtime refresh before a claim counts as abandoned.
+DEFAULT_STALE_AFTER = 300.0
+
+
+def _default_owner() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One held lease on the half-open task index block ``[start, stop)``."""
+
+    start: int
+    stop: int
+    path: Path
+    owner: str
+
+    def indices(self) -> range:
+        return range(self.start, self.stop)
+
+
+class ClaimStore:
+    """Claim-file protocol over one run directory's ``claims/`` folder.
+
+    ``stale_after`` is the abandonment horizon in seconds; pass a small
+    value only in tests. ``owner`` defaults to ``<hostname>-<pid>``.
+    """
+
+    def __init__(
+        self,
+        run_directory: "str | Path",
+        owner: "str | None" = None,
+        stale_after: float = DEFAULT_STALE_AFTER,
+    ):
+        self.directory = Path(run_directory) / CLAIMS_DIR
+        self.owner = owner if owner is not None else _default_owner()
+        self.stale_after = float(stale_after)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- plumbing
+    def _path(self, start: int, stop: int) -> Path:
+        return self.directory / f"{start:06d}-{stop:06d}.claim"
+
+    def _create(self, path: Path, start: int, stop: int) -> bool:
+        """One exclusive-create attempt; True when this process won."""
+        body = json.dumps(
+            {
+                "owner": self.owner,
+                "start": int(start),
+                "stop": int(stop),
+                "claimed_unix": time.time(),
+            },
+            sort_keys=True,
+        ).encode()
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, body + b"\n")
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return True
+
+    def _reclaim_if_stale(self, path: Path) -> bool:
+        """Atomically retire ``path`` if abandoned; True when retired.
+
+        The rename-to-tombstone step is the arbitration: of all workers
+        that saw the same stale claim, exactly one rename succeeds, and
+        only that worker proceeds to retry the create.
+        """
+        try:
+            age = time.time() - path.stat().st_mtime
+        except FileNotFoundError:
+            return True  # already released -- the block is free to retry
+        if age < self.stale_after:
+            return False
+        tombstone = path.with_suffix(f".stale-{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(path, tombstone)
+        except FileNotFoundError:
+            return True  # another reclaimer (or the owner's release) won
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        return True
+
+    # ------------------------------------------------------------- protocol
+    def try_claim(self, start: int, stop: int) -> "Claim | None":
+        """Attempt to lease ``[start, stop)``; None when another worker holds
+        a live claim on it."""
+        path = self._path(start, stop)
+        if self._create(path, start, stop):
+            return Claim(int(start), int(stop), path, self.owner)
+        if self._reclaim_if_stale(path) and self._create(path, start, stop):
+            return Claim(int(start), int(stop), path, self.owner)
+        return None
+
+    def claim_next(
+        self,
+        total: int,
+        journaled,
+        block_size: int,
+    ) -> "Claim | None":
+        """Lease the next block of ``[0, total)`` holding unjournaled work.
+
+        Blocks are aligned (``[0, b), [b, 2b), ...``) so every worker sees
+        the same candidate set and the claim files for one block collide by
+        name. ``journaled`` is the set of already-completed indices; a
+        fully-journaled block is skipped without claiming. Returns None
+        when nothing claimable remains (all done or all live-claimed).
+        """
+        total = int(total)
+        block_size = max(1, int(block_size))
+        journaled = set(journaled)
+        for start in range(0, total, block_size):
+            stop = min(start + block_size, total)
+            if all(index in journaled for index in range(start, stop)):
+                continue
+            claim = self.try_claim(start, stop)
+            if claim is not None:
+                return claim
+        return None
+
+    def refresh(self, claim: Claim) -> None:
+        """Bump the claim's mtime so it stays ahead of the expiry horizon."""
+        try:
+            os.utime(claim.path)
+        except FileNotFoundError:
+            pass  # reclaimed as stale -- journal truth still protects results
+
+    def release(self, claim: Claim) -> None:
+        """Drop a finished (or abandoned-on-purpose) lease."""
+        try:
+            os.unlink(claim.path)
+        except FileNotFoundError:
+            pass

@@ -40,6 +40,7 @@ bit-identical either way.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -51,7 +52,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.testing import faults
-from repro.util.artifacts import atomic_write_bytes, atomic_write_json, sha256_bytes
+from repro.util.artifacts import (
+    atomic_create_json,
+    atomic_write_bytes,
+    fsync_directory,
+    sha256_bytes,
+)
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
@@ -62,6 +68,25 @@ _MANIFEST_VERSION = 1
 
 class RunManifestError(RuntimeError):
     """A run directory cannot be created, loaded, or safely resumed."""
+
+
+def _last_newline_end(handle, size: int) -> int:
+    """Offset just past the last ``\\n`` in ``handle`` (0 when none exists).
+
+    Scans backwards in chunks so a journal with a huge torn tail does not
+    have to be read in full.
+    """
+    chunk_size = 4096
+    end = size
+    while end > 0:
+        start = max(0, end - chunk_size)
+        handle.seek(start)
+        chunk = handle.read(end - start)
+        position = chunk.rfind(b"\n")
+        if position != -1:
+            return start + position + 1
+        end = start
+    return 0
 
 
 def _safe_component(name: str) -> str:
@@ -81,12 +106,88 @@ def _safe_component(name: str) -> str:
     return safe
 
 
+def _feed(digest, part) -> None:
+    """Feed one fingerprint part into ``digest`` as a canonical byte stream.
+
+    Every value is serialized with a one-byte type tag and full content --
+    numpy arrays contribute dtype, shape, and ``tobytes()`` rather than
+    their (elided) ``repr``; dataclasses recurse field by field; containers
+    recurse element by element with their lengths, so concatenation
+    ambiguity cannot make two different part lists collide.
+    """
+    if part is None:
+        digest.update(b"N")
+    elif isinstance(part, (bool, np.bool_)):
+        digest.update(b"B1" if part else b"B0")
+    elif isinstance(part, (int, np.integer)):
+        text = str(int(part)).encode()
+        digest.update(b"I" + str(len(text)).encode() + b":" + text)
+    elif isinstance(part, (float, np.floating)):
+        digest.update(b"F" + float(part).hex().encode())
+    elif isinstance(part, str):
+        data = part.encode()
+        digest.update(b"S" + str(len(data)).encode() + b":" + data)
+    elif isinstance(part, bytes):
+        digest.update(b"Y" + str(len(part)).encode() + b":" + part)
+    elif isinstance(part, np.ndarray):
+        array = np.ascontiguousarray(part)
+        digest.update(
+            b"A" + array.dtype.str.encode() + b":" + repr(array.shape).encode() + b":"
+        )
+        digest.update(array.tobytes())
+    elif dataclasses.is_dataclass(part) and not isinstance(part, type):
+        digest.update(b"D" + type(part).__qualname__.encode() + b":")
+        for field in dataclasses.fields(part):
+            _feed(digest, field.name)
+            _feed(digest, getattr(part, field.name))
+    elif isinstance(part, dict):
+        digest.update(b"M" + str(len(part)).encode() + b":")
+        for key in sorted(part, key=repr):
+            _feed(digest, key)
+            _feed(digest, part[key])
+    elif isinstance(part, (list, tuple)):
+        digest.update((b"L" if isinstance(part, list) else b"T") + str(len(part)).encode() + b":")
+        for item in part:
+            _feed(digest, item)
+    elif isinstance(part, (set, frozenset)):
+        digests = []
+        for item in part:
+            inner = hashlib.sha256()
+            _feed(inner, item)
+            digests.append(inner.digest())
+        digest.update(b"E" + str(len(part)).encode() + b":")
+        for item_digest in sorted(digests):
+            digest.update(item_digest)
+    else:
+        text = repr(part).encode()
+        digest.update(b"R" + str(len(text)).encode() + b":" + text)
+
+
 def config_fingerprint(*parts) -> str:
     """Stable hash over the run-defining parts (configs, seeds, names).
 
-    Dataclass ``repr`` is deterministic and covers every field, which makes
-    it a convenient canonical form; anything with a value-stable ``repr``
-    works.
+    Hashes canonical *full* content: dataclasses and containers are walked
+    recursively and numpy arrays contribute dtype/shape/``tobytes()``. The
+    previous ``repr``-based form (see :func:`legacy_config_fingerprint`)
+    elided large arrays under ``np.printoptions``, so two configs differing
+    only past the repr ellipsis fingerprinted identically and a resume
+    could silently mix their results.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        _feed(digest, part)
+        digest.update(b"\x1f")
+    return digest.hexdigest()[:16]
+
+
+def legacy_config_fingerprint(*parts) -> str:
+    """The pre-canonical ``repr``-join fingerprint (versions <= PR 9).
+
+    Kept only so run directories created before the canonical fingerprint
+    can still be resumed: callers pass it as ``legacy_config_hash`` to
+    :meth:`RunManifest.open`, which accepts either hash on resume. Never
+    used for *new* manifests -- large numpy arrays elide under ``repr``,
+    which is the bug the canonical form fixes.
     """
     payload = "\x1f".join(repr(part) for part in parts)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
@@ -132,6 +233,10 @@ class RunManifest:
         self.directory = Path(directory)
         self._data = data
         self.payload_validator = payload_validator
+        #: When True, journal appends go through a single ``O_APPEND``
+        #: ``os.write`` with newline framing so multiple processes can share
+        #: one journal (work-stealing mode). Set by :meth:`open_shared`.
+        self.shared_journal = False
 
     # ------------------------------------------------------------ lifecycle
     @classmethod
@@ -141,15 +246,19 @@ class RunManifest:
         config_hash: str,
         meta: "dict | None" = None,
         payload_validator=None,
+        shard: "tuple[int, int] | None" = None,
     ) -> "RunManifest":
-        """Start a fresh run; refuses to overwrite an existing one."""
+        """Start a fresh run; refuses to overwrite an existing one.
+
+        ``shard=(i, n)`` records this run as shard ``i`` of ``n`` in the
+        manifest meta. The shard slice is *meta*, not configuration: every
+        shard of one sweep (and the unsharded equivalent) shares one
+        ``config_hash``, which is exactly what lets the merge tool verify
+        the shards belong together and lets a merged run directory resume
+        under the plain (unsharded) command line.
+        """
         directory = Path(directory)
         path = directory / MANIFEST_NAME
-        if path.exists():
-            raise RunManifestError(
-                f"{directory} already holds a run manifest; resume it (--resume) "
-                "or point the run at a fresh directory"
-            )
         directory.mkdir(parents=True, exist_ok=True)
         (directory / TASKS_DIR).mkdir(exist_ok=True)
         data = {
@@ -159,7 +268,21 @@ class RunManifest:
             "config_hash": config_hash,
             "meta": dict(meta or {}),
         }
-        atomic_write_json(path, data)
+        if shard is not None:
+            index, count = int(shard[0]), int(shard[1])
+            if count < 1 or not 0 <= index < count:
+                raise RunManifestError(
+                    f"invalid shard {shard!r}: expected (index, count) with "
+                    "0 <= index < count"
+                )
+            data["meta"]["shard"] = {"index": index, "count": count}
+        try:
+            atomic_create_json(path, data)
+        except FileExistsError:
+            raise RunManifestError(
+                f"{directory} already holds a run manifest; resume it (--resume) "
+                "or point the run at a fresh directory"
+            ) from None
         return cls(directory, data, payload_validator)
 
     @classmethod
@@ -188,23 +311,74 @@ class RunManifest:
         resume: bool = False,
         meta: "dict | None" = None,
         payload_validator=None,
+        shard: "tuple[int, int] | None" = None,
+        legacy_config_hash: "str | None" = None,
     ) -> "RunManifest":
         """Create a fresh run, or -- with ``resume`` -- re-enter a prior one.
 
         Resume verifies the configuration fingerprint so journaled results
         can never silently leak into a run with different parameters.
+        ``legacy_config_hash`` (the pre-canonical ``repr`` fingerprint of
+        the same parts) is also accepted on resume, so run directories
+        created before the canonical fingerprint still resume. A resumed
+        sharded run must present the same ``shard`` it was created with.
         """
         if not resume:
-            return cls.create(directory, config_hash, meta, payload_validator)
+            return cls.create(directory, config_hash, meta, payload_validator, shard=shard)
         manifest = cls.load(directory, payload_validator)
-        if manifest.config_hash != config_hash:
+        manifest._verify_config_hash(config_hash, legacy_config_hash)
+        recorded = manifest.shard
+        requested = None if shard is None else (int(shard[0]), int(shard[1]))
+        if recorded != requested:
             raise RunManifestError(
-                f"run {manifest.run_id} at {manifest.directory} was started with "
-                f"configuration hash {manifest.config_hash}, but the resuming call "
+                f"run {manifest.run_id} at {manifest.directory} was started as "
+                f"shard {recorded!r}, but the resuming call requests shard "
+                f"{requested!r}: refusing to mix shard slices in one journal"
+            )
+        return manifest
+
+    @classmethod
+    def open_shared(
+        cls,
+        directory: "str | Path",
+        config_hash: str,
+        meta: "dict | None" = None,
+        payload_validator=None,
+        legacy_config_hash: "str | None" = None,
+    ) -> "RunManifest":
+        """Join (or race to create) a *shared* run directory.
+
+        Work-stealing mode: N processes point at one run directory; exactly
+        one wins the exclusive manifest create (``O_EXCL`` semantics via
+        :func:`repro.util.artifacts.atomic_create_json`) and the rest
+        verify the fingerprint and attach. The returned manifest appends
+        with ``O_APPEND`` newline framing so concurrent journal writes from
+        different processes interleave at record granularity, never within
+        a record.
+        """
+        try:
+            manifest = cls.create(directory, config_hash, meta, payload_validator)
+        except RunManifestError as err:
+            if "already holds a run manifest" not in str(err):
+                raise
+            manifest = cls.load(directory, payload_validator)
+            manifest._verify_config_hash(config_hash, legacy_config_hash)
+        manifest.shared_journal = True
+        return manifest
+
+    def _verify_config_hash(
+        self, config_hash: str, legacy_config_hash: "str | None" = None
+    ) -> None:
+        accepted = {config_hash}
+        if legacy_config_hash is not None:
+            accepted.add(legacy_config_hash)
+        if self.config_hash not in accepted:
+            raise RunManifestError(
+                f"run {self.run_id} at {self.directory} was started with "
+                f"configuration hash {self.config_hash}, but the resuming call "
                 f"hashes to {config_hash}: refusing to mix results from different "
                 "configurations"
             )
-        return manifest
 
     # ------------------------------------------------------------ properties
     @property
@@ -218,6 +392,14 @@ class RunManifest:
     @property
     def meta(self) -> dict:
         return dict(self._data.get("meta", {}))
+
+    @property
+    def shard(self) -> "tuple[int, int] | None":
+        """``(index, count)`` when this run is one shard of a sweep."""
+        shard = self._data.get("meta", {}).get("shard")
+        if not shard:
+            return None
+        return int(shard["index"]), int(shard["count"])
 
     @property
     def journal_path(self) -> Path:
@@ -235,6 +417,9 @@ class RunManifest:
         spec = faults.check("journal.append")
         if spec is not None and spec.action != "tear":
             faults.execute(spec)
+        if self.shared_journal:
+            self._append_shared(line, spec)
+            return
         self._heal_torn_tail()
         with open(self.journal_path, "a", encoding="utf-8") as handle:
             if spec is not None:  # tear: flush half the line, then die
@@ -248,21 +433,59 @@ class RunManifest:
             handle.flush()
             os.fsync(handle.fileno())
 
+    def _append_shared(self, line: str, spec) -> None:
+        """Append one record to a journal shared by concurrent processes.
+
+        A single ``os.write`` on an ``O_APPEND`` descriptor is atomic with
+        respect to other appenders, so concurrent records interleave only
+        at record granularity. The record is framed with a *leading* and a
+        trailing newline instead of healing the tail first: healing seeks
+        to a position measured before the write, which under concurrency
+        could land inside another process's freshly-appended record. The
+        extra blank lines are skipped by replay.
+        """
+        data = ("\n" + line + "\n").encode("utf-8")
+        if spec is not None:  # tear: flush half the record, then die
+            data = data[: max(2, len(data) // 2)]
+        fd = os.open(self.journal_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o666)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if spec is not None:
+            raise faults.InjectedFault(
+                f"injected 'tear' fault at 'journal.append' (call #{spec.nth})"
+            )
+
     def _heal_torn_tail(self) -> None:
-        """Terminate a torn trailing line so the next append stays on its own
+        """Truncate a torn trailing line so the next append stays on its own
         line. Without this, a record appended after a crash would fuse with
         the torn fragment and both would be lost to the malformed-line skip.
+
+        The torn fragment is *removed* (truncate back to the last newline,
+        or to empty when no newline survives) and the truncation is made
+        durable -- fsync the file and its directory -- before any new
+        append lands. Skipping the fsync would let a crash here resurrect
+        the torn bytes on the next open and fuse them with a later record.
+        The ``journal.heal`` fault point models a crash between the
+        truncate and the fsync.
         """
         try:
             with open(self.journal_path, "rb+") as handle:
-                handle.seek(0, os.SEEK_END)
-                if handle.tell() == 0:
+                size = handle.seek(0, os.SEEK_END)
+                if size == 0:
                     return
                 handle.seek(-1, os.SEEK_END)
-                if handle.read(1) != b"\n":
-                    handle.write(b"\n")
+                if handle.read(1) == b"\n":
+                    return
+                handle.truncate(_last_newline_end(handle, size))
+                faults.fault_point("journal.heal", path=str(self.journal_path))
+                handle.flush()
+                os.fsync(handle.fileno())
         except FileNotFoundError:
-            pass
+            return
+        fsync_directory(self.directory)
 
     def _records(self) -> "list[dict]":
         """Replay the journal, skipping torn or malformed lines."""
@@ -281,6 +504,14 @@ class RunManifest:
             if isinstance(record, dict):
                 records.append(record)
         return records
+
+    def journal_records(self) -> "list[dict]":
+        """All well-formed journal records, in append order.
+
+        Public face of the replay loop for tooling (the merge tool walks
+        shard journals record by record to reassemble a combined run).
+        """
+        return self._records()
 
     # ---------------------------------------------------------------- tasks
     def record_task(self, index: int, payload) -> None:

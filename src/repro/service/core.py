@@ -41,7 +41,11 @@ from dataclasses import dataclass
 from repro.modeling.registry import create_modeler
 from repro.obs import recording, worker_recording
 from repro.parallel.engine import EngineConfig, EngineSession, TaskError, TaskFailure
-from repro.run.manifest import RunManifest, config_fingerprint
+from repro.run.manifest import (
+    RunManifest,
+    config_fingerprint,
+    legacy_config_fingerprint,
+)
 from repro.service.schema import (
     ModelingRequest,
     build_response,
@@ -268,7 +272,11 @@ class ModelingService:
             fingerprint = config_fingerprint("service", config)
             resume = (Path(config.run_dir) / "manifest.json").exists()
             self._manifest = RunManifest.open(
-                config.run_dir, fingerprint, resume=resume, meta={"kind": "service"}
+                config.run_dir,
+                fingerprint,
+                resume=resume,
+                meta={"kind": "service"},
+                legacy_config_hash=legacy_config_fingerprint("service", config),
             )
         # The service holds its telemetry session open for its lifetime:
         # spans and counters from every request land in it live (feeding

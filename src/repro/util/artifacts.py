@@ -35,6 +35,8 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",
+    "atomic_create_json",
+    "fsync_directory",
 ]
 
 
@@ -53,9 +55,9 @@ def sha256_file(path: "str | Path", chunk_size: int = 1 << 20) -> str:
     return digest.hexdigest()
 
 
-def _fsync_directory(directory: Path) -> None:
-    """Persist a rename by fsyncing its directory (best effort: not every
-    platform/filesystem allows opening a directory for fsync)."""
+def fsync_directory(directory: "str | Path") -> None:
+    """Persist a rename/truncate by fsyncing its directory (best effort: not
+    every platform/filesystem allows opening a directory for fsync)."""
     try:
         fd = os.open(directory, os.O_RDONLY)
     except OSError:
@@ -94,7 +96,7 @@ def atomic_write_bytes(path: "str | Path", data: bytes) -> str:
         except OSError:
             pass
         raise
-    _fsync_directory(path.parent)
+    fsync_directory(path.parent)
     return sha256_bytes(data)
 
 
@@ -106,3 +108,35 @@ def atomic_write_text(path: "str | Path", text: str, encoding: str = "utf-8") ->
 def atomic_write_json(path: "str | Path", payload, indent: int = 2) -> str:
     """Atomically replace ``path`` with ``payload`` as indented JSON."""
     return atomic_write_text(path, json.dumps(payload, indent=indent, sort_keys=True) + "\n")
+
+
+def atomic_create_json(path: "str | Path", payload, indent: int = 2) -> str:
+    """Atomically create ``path`` with ``payload`` as JSON -- exclusively.
+
+    Like :func:`atomic_write_json` but *refuses to replace* an existing
+    file: publication goes through ``os.link`` (hard-link the fsynced
+    temporary onto the target), which fails with ``FileExistsError`` when
+    the target already exists. Exactly one of N concurrent creators wins,
+    which is what lets work-stealing shards race to create one shared run
+    manifest without a lock file.
+    """
+    path = Path(path)
+    data = (json.dumps(payload, indent=indent, sort_keys=True) + "\n").encode()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.fault_point("artifacts.replace", path=tmp_name)
+        os.link(tmp_name, path)
+    finally:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+    fsync_directory(path.parent)
+    return sha256_bytes(data)

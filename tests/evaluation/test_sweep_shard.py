@@ -1,0 +1,159 @@
+"""Acceptance: sharded and work-stealing sweeps merge back bit-identically.
+
+The multi-host story end to end at the sweep layer: two ``shard=(i, 2)``
+runs into separate run dirs, merged with :func:`repro.run.merge.merge_runs`,
+then resumed under the plain (unsharded) configuration -- the resumed result
+must be bit-identical to an uninterrupted unsharded sweep. Plus the partial
+-result contract (shard runs return no cells; the journal is the product)
+and the ``steal`` mode over one shared run dir.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.sweep import SweepConfig, run_sweep
+from repro.parallel.engine import EngineConfig
+from repro.regression.modeler import RegressionModeler
+from repro.run.manifest import RunManifest
+from repro.run.merge import merge_runs
+from repro.testing import faults
+
+SEED = 123
+CONFIG = SweepConfig(n_params=1, noise_levels=(0.05, 0.2), n_functions=6, batch_size=2)
+# 2 noise levels x 6 functions / 2 per batch = 6 engine tasks.
+N_TASKS = 6
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def _modelers():
+    return {"regression": RegressionModeler()}
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_sweep(CONFIG, _modelers(), rng=SEED)
+
+
+def _assert_identical(a, b):
+    """Bit-identical science outputs; wall-clock seconds are exempt."""
+    assert set(a.cells) == set(b.cells)
+    for key, cell_a in a.cells.items():
+        cell_b = b.cells[key]
+        np.testing.assert_array_equal(cell_a.distances, cell_b.distances)
+        np.testing.assert_array_equal(cell_a.errors, cell_b.errors)
+        assert cell_a.functions == cell_b.functions
+        assert cell_a.failures == cell_b.failures
+
+
+class TestShardedSweep:
+    def test_shard_run_is_partial_and_journals_its_slice(self, tmp_path):
+        result = run_sweep(
+            CONFIG, _modelers(), rng=SEED, run_dir=str(tmp_path / "s0"), shard=(0, 2)
+        )
+        assert result.partial
+        assert result.shard == (0, 2)
+        assert result.cells == {}
+        assert result.total_batches == N_TASKS
+        assert result.completed_batches == 3  # indices 0, 2, 4
+        manifest = RunManifest.load(tmp_path / "s0")
+        assert manifest.shard == (0, 2)
+        assert sorted(manifest.completed_tasks()) == [0, 2, 4]
+
+    def test_merge_then_resume_matches_unsharded(self, tmp_path, reference):
+        for index in range(2):
+            run_sweep(
+                CONFIG,
+                _modelers(),
+                rng=SEED,
+                run_dir=str(tmp_path / f"s{index}"),
+                shard=(index, 2),
+            )
+        merged = merge_runs(
+            tmp_path / "merged", [tmp_path / "s0", tmp_path / "s1"]
+        )
+        assert merged.task_count() == N_TASKS
+        # The merged dir resumes under the *plain* (unsharded) command: all
+        # batches replay from the journal, nothing recomputes.
+        resumed = run_sweep(
+            CONFIG, _modelers(), rng=SEED, run_dir=str(tmp_path / "merged"), resume=True
+        )
+        assert not resumed.partial
+        _assert_identical(resumed, reference)
+
+    def test_shard_requires_run_dir(self):
+        with pytest.raises(ValueError, match="journal is the product"):
+            run_sweep(CONFIG, _modelers(), rng=SEED, shard=(0, 2))
+
+    def test_shard_and_steal_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_sweep(
+                CONFIG,
+                _modelers(),
+                rng=SEED,
+                run_dir=str(tmp_path / "run"),
+                shard=(0, 2),
+                steal=True,
+            )
+
+    def test_shard_resume_continues_the_same_slice(self, tmp_path):
+        run_dir = str(tmp_path / "s1")
+        faults.activate("engine.task:raise@2")
+        with pytest.raises(Exception):
+            run_sweep(
+                CONFIG,
+                _modelers(),
+                rng=SEED,
+                run_dir=run_dir,
+                shard=(1, 2),
+                engine=EngineConfig(max_retries=0, processes=1),
+            )
+        faults.deactivate()
+        result = run_sweep(
+            CONFIG, _modelers(), rng=SEED, run_dir=run_dir, shard=(1, 2), resume=True
+        )
+        assert result.partial and result.completed_batches == 3
+        assert sorted(RunManifest.load(run_dir).completed_tasks()) == [1, 3, 5]
+
+
+class TestStealingSweep:
+    def test_single_stealing_worker_completes_the_sweep(self, tmp_path, reference):
+        result = run_sweep(
+            CONFIG, _modelers(), rng=SEED, run_dir=str(tmp_path / "run"), steal=True
+        )
+        # One worker claimed every block, so the result is complete.
+        assert not result.partial
+        _assert_identical(result, reference)
+        assert RunManifest.load(tmp_path / "run").task_count() == N_TASKS
+
+    def test_second_worker_joins_a_shared_run_dir(self, tmp_path, reference):
+        run_dir = str(tmp_path / "run")
+        faults.activate("engine.task:raise@3")
+        with pytest.raises(Exception):
+            run_sweep(
+                CONFIG,
+                _modelers(),
+                rng=SEED,
+                run_dir=run_dir,
+                steal=True,
+                engine=EngineConfig(max_retries=0, processes=1),
+            )
+        faults.deactivate()
+        # The dead worker's claim files linger; completion truth is the
+        # journal, so a fresh worker (same config) finishes the rest. Claims
+        # go stale only after the horizon -- but the killed worker released
+        # nothing, so reclaim relies on the journal skip + stale expiry.
+        for path in (tmp_path / "run" / "claims").glob("*.claim"):
+            path.unlink()  # simulate the horizon having passed
+        result = run_sweep(CONFIG, _modelers(), rng=SEED, run_dir=run_dir, steal=True)
+        assert not result.partial
+        _assert_identical(result, reference)
+
+    def test_steal_requires_run_dir(self):
+        with pytest.raises(ValueError, match="journal is the product"):
+            run_sweep(CONFIG, _modelers(), rng=SEED, steal=True)

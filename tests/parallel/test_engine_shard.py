@@ -1,0 +1,276 @@
+"""Engine shard slices and work stealing over the crash-safe journal.
+
+The contract under test: ``shard=(i, n)`` runs exactly the indices with
+``index % n == i`` (other slots come back None), the shard journals merge
+into a journal byte-identical to an unsharded run's, generator inputs are
+materialized exactly once (resume must not consume them twice), and
+``claims`` mode lets cooperating workers split one shared journal without
+double-executing work.
+"""
+
+import pytest
+
+from repro.parallel.engine import EngineConfig, EngineSession, run_tasks
+from repro.run.claims import ClaimStore
+from repro.run.manifest import RunManifest
+from repro.run.merge import merge_runs
+from repro.testing import faults
+
+_MARKER_DIR = {"path": None}
+
+
+def _square(x):
+    return x * x
+
+
+def _identity(x):
+    return x
+
+
+def _plus_ten(x):
+    return x + 10
+
+
+def _plus_one(x):
+    return x + 1
+
+
+def _set_marker_dir(path):
+    _MARKER_DIR["path"] = path
+
+
+def counting_square(x):
+    """Square ``x`` and leave one marker file per execution (not per item)."""
+    directory = _MARKER_DIR["path"]
+    count = len(list(directory.glob(f"run-{x}-*")))
+    (directory / f"run-{x}-{count}").write_text("")
+    return x * x
+
+
+def executions(directory, x):
+    return len(list(directory.glob(f"run-{x}-*")))
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestShardSlices:
+    def test_shard_runs_only_its_slice(self, tmp_path):
+        journal = RunManifest.create(tmp_path / "s0", "engine-test", shard=(0, 2))
+        results = run_tasks(
+            _square, range(7), EngineConfig(processes=1), journal=journal, shard=(0, 2)
+        )
+        assert results == [0, None, 4, None, 16, None, 36]
+        assert sorted(journal.completed_tasks()) == [0, 2, 4, 6]
+
+    def test_shards_partition_the_index_space(self, tmp_path):
+        seen: list[int] = []
+        for index in range(3):
+            journal = RunManifest.create(
+                tmp_path / f"s{index}", "engine-test", shard=(index, 3)
+            )
+            run_tasks(
+                _identity, range(10), EngineConfig(processes=1), journal=journal, shard=(index, 3)
+            )
+            seen.extend(journal.completed_tasks())
+        assert sorted(seen) == list(range(10)), "slices must be disjoint and complete"
+
+    def test_shard_requires_journal(self):
+        with pytest.raises(ValueError, match="journal"):
+            run_tasks(_identity, range(4), EngineConfig(processes=1), shard=(0, 2))
+
+    def test_shard_and_claims_are_mutually_exclusive(self, tmp_path):
+        journal = RunManifest.create(tmp_path / "run", "engine-test")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_tasks(
+                _identity,
+                range(4),
+                EngineConfig(processes=1),
+                journal=journal,
+                shard=(0, 2),
+                claims=ClaimStore(journal.directory),
+            )
+
+    def test_merged_shards_equal_unsharded_journal_bytes(self, tmp_path):
+        """The tentpole property at engine level: run 2 shards, merge, and
+        the merged journal and payloads are byte-identical to an unsharded
+        run of the same deterministic tasks."""
+        for index in range(2):
+            journal = RunManifest.create(
+                tmp_path / f"s{index}", "engine-test", shard=(index, 2)
+            )
+            run_tasks(
+                _square, range(11), EngineConfig(processes=1), journal=journal, shard=(index, 2)
+            )
+        reference = RunManifest.create(tmp_path / "ref", "engine-test")
+        run_tasks(
+            _square, range(11), EngineConfig(processes=1), journal=reference
+        )
+        merged = merge_runs(tmp_path / "merged", [tmp_path / "s0", tmp_path / "s1"])
+        assert merged.journal_path.read_bytes() == reference.journal_path.read_bytes()
+        replayed = run_tasks(
+            _square, range(11), EngineConfig(processes=1), journal=merged
+        )
+        assert replayed == [x * x for x in range(11)]
+
+    def test_sharded_resume_skips_journaled_slice_work(self, tmp_path):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        journal = RunManifest.create(tmp_path / "s1", "engine-test", shard=(1, 2))
+        faults.activate("engine.task:raise@2")
+        with pytest.raises(Exception):
+            run_tasks(
+                counting_square,
+                range(8),
+                EngineConfig(processes=1, max_retries=0),
+                initializer=_set_marker_dir,
+                initargs=(markers,),
+                journal=journal,
+                shard=(1, 2),
+            )
+        faults.deactivate()
+        done_before = set(journal.completed_tasks())
+        assert done_before and done_before < {1, 3, 5, 7}
+        results = run_tasks(
+            counting_square,
+            range(8),
+            EngineConfig(processes=1),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+            shard=(1, 2),
+        )
+        assert results == [None, 1, None, 9, None, 25, None, 49]
+        assert all(executions(markers, x) == 1 for x in (1, 3, 5, 7)), "tasks re-ran"
+
+
+class TestGeneratorInputs:
+    def test_generator_items_are_materialized_exactly_once(self, tmp_path):
+        """Regression pin: the engine must list() a consumable iterable once
+        up front. If any later phase (journal replay refill, shard slicing,
+        dispatch) re-iterated it, the second pass would see an exhausted
+        generator and silently drop tasks."""
+        journal = RunManifest.create(tmp_path / "run", "engine-test")
+        pulls = []
+
+        def items():
+            for x in range(6):
+                pulls.append(x)
+                yield x
+
+        results = run_tasks(
+            _square, items(), EngineConfig(processes=1), journal=journal
+        )
+        assert results == [x * x for x in range(6)]
+        assert pulls == list(range(6)), "the iterable was not consumed exactly once"
+
+    def test_generator_items_survive_resume(self, tmp_path):
+        journal = RunManifest.create(tmp_path / "run", "engine-test")
+        run_tasks(_square, range(6), EngineConfig(processes=1), journal=journal)
+        resumed = run_tasks(
+            _square,
+            (x for x in range(6)),  # journal replay path with a consumable input
+            EngineConfig(processes=1),
+            journal=journal,
+        )
+        assert resumed == [x * x for x in range(6)]
+
+    def test_generator_items_with_shard(self, tmp_path):
+        journal = RunManifest.create(tmp_path / "run", "engine-test", shard=(0, 2))
+        results = run_tasks(
+            _plus_ten,
+            (x for x in range(5)),
+            EngineConfig(processes=1),
+            journal=journal,
+            shard=(0, 2),
+        )
+        assert results == [10, None, 12, None, 14]
+
+
+class TestWorkStealing:
+    def test_single_worker_steals_everything(self, tmp_path):
+        journal = RunManifest.open_shared(tmp_path / "run", "engine-test")
+        claims = ClaimStore(journal.directory, owner="w1")
+        results = run_tasks(
+            _square,
+            range(9),
+            EngineConfig(processes=1, chunksize=2),
+            journal=journal,
+            claims=claims,
+        )
+        assert results == [x * x for x in range(9)]
+        assert sorted(journal.completed_tasks()) == list(range(9))
+
+    def test_two_sequential_workers_split_the_work(self, tmp_path):
+        """Worker 1 claims (and holds) the first block, worker 2 must steal
+        the rest; no index executes twice."""
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        journal = RunManifest.open_shared(tmp_path / "run", "engine-test")
+        held = ClaimStore(journal.directory, owner="w1").try_claim(0, 3)
+        assert held is not None
+        w2 = run_tasks(
+            counting_square,
+            range(9),
+            EngineConfig(processes=1, chunksize=3),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+            claims=ClaimStore(journal.directory, owner="w2"),
+        )
+        # w2 ran everything except w1's held block: those slots are None.
+        assert w2[3:] == [x * x for x in range(3, 9)]
+        assert w2[:3] == [None, None, None]
+        assert sorted(journal.completed_tasks()) == list(range(3, 9))
+        ClaimStore(journal.directory, owner="w1").release(held)
+        w1 = run_tasks(
+            counting_square,
+            range(9),
+            EngineConfig(processes=1, chunksize=3),
+            initializer=_set_marker_dir,
+            initargs=(markers,),
+            journal=journal,
+            claims=ClaimStore(journal.directory, owner="w1"),
+        )
+        assert w1 == [x * x for x in range(9)]
+        assert all(executions(markers, x) == 1 for x in range(9)), "work re-ran"
+
+    def test_stealing_requires_journal(self, tmp_path):
+        with pytest.raises(ValueError, match="journal"):
+            run_tasks(
+                _identity,
+                range(4),
+                EngineConfig(processes=1),
+                claims=ClaimStore(tmp_path),
+            )
+
+    def test_stale_claim_of_dead_worker_is_rerun(self, tmp_path):
+        """A SIGKILLed worker leaves a claim file but no journal records; a
+        later worker with an expired horizon reclaims and completes it."""
+        journal = RunManifest.open_shared(tmp_path / "run", "engine-test")
+        dead = ClaimStore(journal.directory, owner="dead", stale_after=0.0)
+        assert dead.try_claim(0, 4) is not None  # never released, never journaled
+        results = run_tasks(
+            _square,
+            range(8),
+            EngineConfig(processes=1, chunksize=4),
+            journal=journal,
+            claims=ClaimStore(journal.directory, owner="live", stale_after=0.0),
+        )
+        assert results == [x * x for x in range(8)]
+
+    def test_stealing_session_reuse(self, tmp_path):
+        """Claims mode composes with the warm EngineSession seam."""
+        journal = RunManifest.open_shared(tmp_path / "run", "engine-test")
+        with EngineSession(EngineConfig(processes=1, chunksize=2)) as session:
+            first = session.run(
+                _plus_one,
+                range(4),
+                journal=journal,
+                claims=ClaimStore(journal.directory, owner="w1"),
+            )
+        assert first == [1, 2, 3, 4]

@@ -1,0 +1,149 @@
+"""Work-stealing claim files: exclusive leases, stale reclaim, concurrency.
+
+The protocol under test (see :mod:`repro.run.claims`): one winner per
+block no matter how many workers race, fully-journaled blocks are never
+claimed, an abandoned (SIGKILLed) worker's claim expires and is reclaimed
+by exactly one other worker, and two real processes hammering one claim
+directory never claim the same block twice.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.run.claims import CLAIMS_DIR, DEFAULT_STALE_AFTER, Claim, ClaimStore
+
+
+class TestClaimBasics:
+    def test_claim_is_exclusive(self, tmp_path):
+        store_a = ClaimStore(tmp_path, owner="a")
+        store_b = ClaimStore(tmp_path, owner="b")
+        claim = store_a.try_claim(0, 4)
+        assert isinstance(claim, Claim)
+        assert claim.owner == "a"
+        assert list(claim.indices()) == [0, 1, 2, 3]
+        assert store_b.try_claim(0, 4) is None
+
+    def test_release_frees_the_block(self, tmp_path):
+        store = ClaimStore(tmp_path, owner="a")
+        claim = store.try_claim(0, 4)
+        store.release(claim)
+        assert not claim.path.exists()
+        assert ClaimStore(tmp_path, owner="b").try_claim(0, 4) is not None
+
+    def test_claim_file_records_owner(self, tmp_path):
+        store = ClaimStore(tmp_path, owner="worker-7")
+        claim = store.try_claim(8, 12)
+        body = json.loads(claim.path.read_text())
+        assert body["owner"] == "worker-7"
+        assert (body["start"], body["stop"]) == (8, 12)
+
+    def test_default_owner_names_host_and_pid(self, tmp_path):
+        store = ClaimStore(tmp_path)
+        assert str(os.getpid()) in store.owner
+        assert store.stale_after == DEFAULT_STALE_AFTER
+
+
+class TestClaimNext:
+    def test_walks_aligned_blocks_in_order(self, tmp_path):
+        store = ClaimStore(tmp_path, owner="a")
+        first = store.claim_next(10, journaled=set(), block_size=4)
+        second = store.claim_next(10, journaled=set(), block_size=4)
+        third = store.claim_next(10, journaled=set(), block_size=4)
+        assert (first.start, first.stop) == (0, 4)
+        assert (second.start, second.stop) == (4, 8)
+        assert (third.start, third.stop) == (8, 10)  # tail block is short
+        assert store.claim_next(10, journaled=set(), block_size=4) is None
+
+    def test_fully_journaled_blocks_are_skipped(self, tmp_path):
+        store = ClaimStore(tmp_path, owner="a")
+        claim = store.claim_next(8, journaled={0, 1, 2, 3}, block_size=4)
+        assert (claim.start, claim.stop) == (4, 8)
+
+    def test_partially_journaled_blocks_are_still_claimed(self, tmp_path):
+        store = ClaimStore(tmp_path, owner="a")
+        claim = store.claim_next(4, journaled={0, 1, 2}, block_size=4)
+        assert (claim.start, claim.stop) == (0, 4)
+
+    def test_live_claims_of_other_workers_are_skipped(self, tmp_path):
+        store_a = ClaimStore(tmp_path, owner="a")
+        store_b = ClaimStore(tmp_path, owner="b")
+        assert store_a.claim_next(8, set(), block_size=4).start == 0
+        assert store_b.claim_next(8, set(), block_size=4).start == 4
+        assert store_b.claim_next(8, set(), block_size=4) is None
+
+
+class TestStaleReclaim:
+    def test_stale_claim_is_reclaimed(self, tmp_path):
+        dead = ClaimStore(tmp_path, owner="dead", stale_after=0.05)
+        claim = dead.try_claim(0, 4)
+        assert claim is not None  # then the worker is SIGKILLed...
+        time.sleep(0.1)
+        live = ClaimStore(tmp_path, owner="live", stale_after=0.05)
+        reclaimed = live.try_claim(0, 4)
+        assert reclaimed is not None
+        assert reclaimed.owner == "live"
+        assert json.loads(reclaimed.path.read_text())["owner"] == "live"
+
+    def test_fresh_claim_is_not_reclaimed(self, tmp_path):
+        holder = ClaimStore(tmp_path, owner="holder", stale_after=60.0)
+        assert holder.try_claim(0, 4) is not None
+        thief = ClaimStore(tmp_path, owner="thief", stale_after=60.0)
+        assert thief.try_claim(0, 4) is None
+
+    def test_refresh_keeps_a_claim_alive(self, tmp_path):
+        holder = ClaimStore(tmp_path, owner="holder", stale_after=0.2)
+        claim = holder.try_claim(0, 4)
+        time.sleep(0.12)
+        holder.refresh(claim)
+        time.sleep(0.12)  # total > stale_after, but refreshed midway
+        thief = ClaimStore(tmp_path, owner="thief", stale_after=0.2)
+        assert thief.try_claim(0, 4) is None
+
+
+_RACER = """
+import json, sys
+from pathlib import Path
+from repro.run.claims import ClaimStore
+
+run_dir, owner, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+store = ClaimStore(run_dir, owner=owner)
+mine = []
+while True:
+    claim = store.claim_next(64, journaled=set(), block_size=4)
+    if claim is None:
+        break
+    mine.extend(claim.indices())
+    # Hold every claim (never release): the other process must see it.
+Path(out_path).write_text(json.dumps(mine))
+"""
+
+
+class TestTwoProcessRace:
+    def test_no_index_is_double_claimed(self, tmp_path):
+        """Two real processes race claim_next over one directory: every index
+        is claimed exactly once and the union covers the whole space."""
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        procs = []
+        for owner in ("racer-a", "racer-b"):
+            out = tmp_path / f"{owner}.json"
+            procs.append(
+                (
+                    out,
+                    subprocess.Popen(
+                        [sys.executable, "-c", _RACER, str(tmp_path), owner, str(out)],
+                        env=env,
+                    ),
+                )
+            )
+        claimed: list[int] = []
+        for out, proc in procs:
+            assert proc.wait(timeout=60) == 0
+            claimed.extend(json.loads(out.read_text()))
+        assert sorted(claimed) == list(range(64)), "an index was double-claimed or lost"
+        assert len(list((tmp_path / CLAIMS_DIR).glob("*.claim"))) == 16

@@ -9,6 +9,7 @@ from repro.run.manifest import (
     RunManifest,
     RunManifestError,
     config_fingerprint,
+    legacy_config_fingerprint,
     rng_fingerprint,
 )
 from repro.testing import faults
@@ -42,6 +43,40 @@ class TestFingerprints:
     def test_rng_fingerprint_rejects_unknown_types(self):
         with pytest.raises(RunManifestError, match="cannot fingerprint"):
             rng_fingerprint("a string")
+
+    def test_large_arrays_differing_past_repr_ellipsis(self):
+        """Regression for the repr-truncation bug: numpy elides the middle of
+        large arrays under its print options, so the legacy repr-based
+        fingerprint COLLIDES for two parameter-value sets that differ only in
+        the elided region. The canonical fingerprint hashes the full buffer
+        and must tell them apart."""
+        a = np.arange(2000, dtype=float)
+        b = a.copy()
+        b[1000] += 1.0  # invisible in repr(a) vs repr(b)
+        assert repr(a) == repr(b), "precondition: the difference is elided"
+        assert legacy_config_fingerprint(a) == legacy_config_fingerprint(b)
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+    def test_large_arrays_inside_containers(self):
+        """The same elision hides inside dicts/tuples of value sets -- the
+        canonical hash must recurse into containers, not repr them."""
+        a = {"values": (np.arange(1500),), "n": 1}
+        b = {"values": (np.arange(1500),), "n": 1}
+        b["values"][0][700] += 1
+        assert legacy_config_fingerprint(a) == legacy_config_fingerprint(b)
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+    def test_canonical_fingerprint_separates_types(self):
+        """repr-alike values must not collide under the canonical hash."""
+        assert config_fingerprint(1) != config_fingerprint("1")
+        assert config_fingerprint(True) != config_fingerprint(1)
+        assert config_fingerprint((1, 2)) != config_fingerprint([1, 2])
+        assert config_fingerprint(np.array([1.0])) != config_fingerprint([1.0])
+
+    def test_canonical_fingerprint_ignores_dict_insertion_order(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
 
 
 class TestLifecycle:
@@ -255,3 +290,132 @@ class TestSubManifests:
     def test_no_tenants_dir_lists_empty(self, tmp_path):
         parent = self._parent(tmp_path)
         assert parent.sub_manifests() == {}
+
+
+class TestLegacyFingerprintResume:
+    def test_legacy_run_dir_resumes_under_canonical_hash(self, tmp_path):
+        """Run dirs created before the canonical fingerprint carry the old
+        repr-based hash; resume must accept them when the caller supplies the
+        legacy hash of the same parts."""
+        parts = ({"n": 1}, "seed:0", ("regression",))
+        RunManifest.create(tmp_path / "run", legacy_config_fingerprint(*parts))
+        resumed = RunManifest.open(
+            tmp_path / "run",
+            config_fingerprint(*parts),
+            resume=True,
+            legacy_config_hash=legacy_config_fingerprint(*parts),
+        )
+        assert resumed.config_hash == legacy_config_fingerprint(*parts)
+
+    def test_legacy_hash_of_different_parts_still_refuses(self, tmp_path):
+        parts = ({"n": 1}, "seed:0", ("regression",))
+        other = ({"n": 2}, "seed:0", ("regression",))
+        RunManifest.create(tmp_path / "run", legacy_config_fingerprint(*other))
+        with pytest.raises(RunManifestError, match="refusing to mix"):
+            RunManifest.open(
+                tmp_path / "run",
+                config_fingerprint(*parts),
+                resume=True,
+                legacy_config_hash=legacy_config_fingerprint(*parts),
+            )
+
+
+class TestShardMeta:
+    def test_create_records_shard_in_meta(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h", shard=(1, 4))
+        assert manifest.shard == (1, 4)
+        assert RunManifest.load(tmp_path / "run").meta["shard"] == {
+            "index": 1,
+            "count": 4,
+        }
+
+    def test_shard_is_meta_not_configuration(self, tmp_path):
+        """Every shard of one sweep shares one config_hash -- that is what
+        lets the merge tool verify membership."""
+        s0 = RunManifest.create(tmp_path / "s0", "same-hash", shard=(0, 2))
+        s1 = RunManifest.create(tmp_path / "s1", "same-hash", shard=(1, 2))
+        assert s0.config_hash == s1.config_hash
+
+    def test_unsharded_run_has_no_shard(self, tmp_path):
+        assert RunManifest.create(tmp_path / "run", "h").shard is None
+
+    @pytest.mark.parametrize("shard", [(2, 2), (-1, 2), (0, 0)])
+    def test_invalid_shard_is_refused(self, tmp_path, shard):
+        with pytest.raises(RunManifestError, match="invalid shard"):
+            RunManifest.create(tmp_path / "run", "h", shard=shard)
+
+    def test_resume_verifies_the_shard_slice(self, tmp_path):
+        RunManifest.open(tmp_path / "run", "h", shard=(0, 2))
+        resumed = RunManifest.open(tmp_path / "run", "h", resume=True, shard=(0, 2))
+        assert resumed.shard == (0, 2)
+        with pytest.raises(RunManifestError, match="refusing to mix shard slices"):
+            RunManifest.open(tmp_path / "run", "h", resume=True, shard=(1, 2))
+        with pytest.raises(RunManifestError, match="refusing to mix shard slices"):
+            RunManifest.open(tmp_path / "run", "h", resume=True)
+
+
+class TestSharedJournal:
+    def test_open_shared_creates_then_attaches(self, tmp_path):
+        first = RunManifest.open_shared(tmp_path / "run", "h")
+        second = RunManifest.open_shared(tmp_path / "run", "h")
+        assert first.run_id == second.run_id
+        assert first.shared_journal and second.shared_journal
+
+    def test_open_shared_verifies_fingerprint(self, tmp_path):
+        RunManifest.open_shared(tmp_path / "run", "h")
+        with pytest.raises(RunManifestError, match="refusing to mix"):
+            RunManifest.open_shared(tmp_path / "run", "other")
+
+    def test_interleaved_appends_from_two_handles_replay_fully(self, tmp_path):
+        a = RunManifest.open_shared(tmp_path / "run", "h")
+        b = RunManifest.open_shared(tmp_path / "run", "h")
+        a.record_task(0, "from-a")
+        b.record_task(1, "from-b")
+        a.record_task(2, "from-a-again")
+        assert a.completed_tasks() == {0: "from-a", 1: "from-b", 2: "from-a-again"}
+        # The newline framing leaves blank lines; replay must skip them.
+        assert "\n\n" in (tmp_path / "run" / JOURNAL_NAME).read_text()
+
+    def test_shared_torn_append_loses_only_that_record(self, tmp_path):
+        manifest = RunManifest.open_shared(tmp_path / "run", "h")
+        manifest.record_task(0, "before")
+        faults.activate("journal.append:tear@1")
+        with pytest.raises(faults.InjectedFault):
+            manifest.record_task(1, "torn")
+        faults.deactivate()
+        manifest.record_task(2, "after")
+        # No tail healing in shared mode: the torn fragment stays in the file
+        # but the leading-newline framing isolates it on its own line.
+        assert set(manifest.completed_tasks()) == {0, 2}
+
+
+class TestHealDurability:
+    def _torn_journal(self, tmp_path):
+        manifest = RunManifest.create(tmp_path / "run", "h")
+        manifest.record_task(0, "intact")
+        with open(manifest.journal_path, "a") as handle:
+            handle.write('{"type": "task", "task": 1, "fi')  # torn, no newline
+        return manifest
+
+    def test_heal_truncates_the_torn_fragment(self, tmp_path):
+        manifest = self._torn_journal(tmp_path)
+        manifest.record_task(2, "post-crash")
+        text = manifest.journal_path.read_text()
+        assert '"task": 1' not in text, "the torn fragment must be removed, not fused"
+        assert set(manifest.completed_tasks()) == {0, 2}
+
+    def test_crash_between_truncate_and_fsync(self, tmp_path):
+        """The journal.heal fault point fires after the truncate, before the
+        fsync -- the window where a crash could resurrect the torn bytes on a
+        non-durable filesystem. The append must not have happened yet (the
+        new record would fuse with a resurrected fragment), and a retry after
+        the crash must heal again and land the append cleanly."""
+        manifest = self._torn_journal(tmp_path)
+        faults.activate("journal.heal:raise@1")
+        with pytest.raises(faults.InjectedFault):
+            manifest.record_task(2, "must not land yet")
+        faults.deactivate()
+        text = manifest.journal_path.read_text()
+        assert '"task": 2' not in text, "append before heal durability is unsafe"
+        manifest.record_task(2, "retry lands")
+        assert manifest.completed_tasks() == {0: "intact", 2: "retry lands"}

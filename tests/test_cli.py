@@ -270,6 +270,92 @@ class TestTraceCommand:
         assert args.format == "text"
 
 
+class TestShardedEvaluate:
+    _ARGS = [
+        "evaluate", "--params", "1", "--noise", "5", "--functions", "4",
+        "--batch", "2", "--seed", "1",
+    ]
+
+    def test_shard_spec_parsing(self):
+        args = build_parser().parse_args(
+            self._ARGS + ["--run-dir", "d", "--shard", "1/4"]
+        )
+        assert args.shard == (1, 4)
+
+    @pytest.mark.parametrize("bad", ["2/2", "-1/2", "a/b", "3", "1/0", "1/2/3"])
+    def test_malformed_shard_spec_exits(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self._ARGS + ["--run-dir", "d", "--shard", bad])
+
+    def test_shard_and_steal_conflict_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                self._ARGS + ["--run-dir", "d", "--shard", "0/2", "--steal"]
+            )
+
+    def test_casestudy_parser_accepts_shard(self):
+        args = build_parser().parse_args(
+            ["casestudy", "kripke", "--run-dir", "d", "--shard", "0/2"]
+        )
+        assert args.shard == (0, 2)
+
+    def test_shard_prints_partial_summary(self, tmp_path, capsys):
+        assert main(self._ARGS + ["--run-dir", str(tmp_path / "s0"), "--shard", "0/2"]) == 0
+        out = capsys.readouterr().out
+        assert "partial sweep" in out
+        assert "merge-run" in out
+        assert "MODEL ACCURACY" not in out  # no tables for a slice
+
+    def test_shard_merge_resume_matches_unsharded(self, tmp_path, capsys):
+        """End-to-end through the CLI: two shards + merge-run + --resume
+        render the same tables as the unsharded command (modulo wall-time)."""
+        assert main(self._ARGS + ["--run-dir", str(tmp_path / "ref")]) == 0
+        reference = capsys.readouterr().out
+        for index in range(2):
+            assert (
+                main(
+                    self._ARGS
+                    + ["--run-dir", str(tmp_path / f"s{index}"), "--shard", f"{index}/2"]
+                )
+                == 0
+            )
+        assert (
+            main(
+                ["merge-run", str(tmp_path / "merged"), str(tmp_path / "s0"), str(tmp_path / "s1")]
+            )
+            == 0
+        )
+        merge_out = capsys.readouterr().out
+        assert "merged 2 shard(s)" in merge_out
+        assert main(self._ARGS + ["--resume", str(tmp_path / "merged")]) == 0
+        merged = capsys.readouterr().out
+
+        def tables(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("stage wall-time:")
+            ]
+
+        assert tables(merged) == tables(reference)
+
+    def test_merge_run_refuses_bad_shards(self, tmp_path, capsys):
+        assert main(self._ARGS + ["--run-dir", str(tmp_path / "s0"), "--shard", "0/2"]) == 0
+        assert main(self._ARGS + ["--run-dir", str(tmp_path / "other")]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["merge-run", str(tmp_path / "m"), str(tmp_path / "s0"), str(tmp_path / "nope")]
+            )
+            == 2
+        )
+        assert "no run manifest" in capsys.readouterr().err
+
+    def test_merge_run_registered_in_parser(self):
+        args = build_parser().parse_args(["merge-run", "out", "a", "b"])
+        assert callable(args.func)
+        assert args.shards == ["a", "b"]
+
+
 class TestModelCommand:
     def test_regression_model_printed(self, experiment_json, capsys):
         assert main(["model", experiment_json, "--method", "regression"]) == 0
